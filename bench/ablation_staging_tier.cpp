@@ -1,0 +1,84 @@
+// Ablation: where should the async VOL stage the transactional copy?
+// The paper notes the connector can cache "either to a memory buffer on
+// the same node ... or to a node-local SSD" (Sec. II-C) and that a
+// buffering location not shared across users hides variability
+// (Sec. VI-A).  This bench quantifies the trade-off on both machines:
+// DRAM is fastest but capacity-bound; Summit's node-local NVMe and
+// Cori's shared burst buffer stage slower but hold whole checkpoints.
+#include "bench/bench_util.h"
+#include "workloads/vpic_io.h"
+
+namespace apio {
+namespace {
+
+void run_tier(const sim::SystemSpec& spec, sim::StagingTier tier, const char* label,
+              const std::vector<int>& node_counts) {
+  if (!spec.supports(tier)) return;
+  sim::EpochSimulator simulator(spec);
+  std::printf("\n  staging tier: %s\n", label);
+  std::printf("  %8s %8s %16s %14s\n", "nodes", "ranks", "t_transact [s]",
+              "observed BW");
+  for (int nodes : node_counts) {
+    auto config = workloads::VpicIoKernel::sim_config(spec, nodes, model::IoMode::kAsync);
+    config.contention_sigma_override = 0.0;
+    config.staging_tier = tier;
+    const auto result = simulator.run(config);
+    std::printf("  %8d %8d %16.4f %14s\n", nodes, result.ranks,
+                result.epochs[0].io_blocking_seconds,
+                format_bandwidth(result.peak_bandwidth()).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  using namespace apio;
+  bench::banner("Ablation: async staging tier (VPIC-IO write, weak scaling)",
+                "blocking cost of the transactional copy per tier; sync PFS "
+                "time shown for reference");
+
+  const std::vector<int> nodes{8, 32, 128, 512};
+
+  {
+    const auto spec = sim::SystemSpec::summit();
+    sim::EpochSimulator simulator(spec);
+    std::printf("\n== %s ==\n", spec.name.c_str());
+    std::printf("  reference sync I/O phase at 128 nodes: %.2f s\n",
+                simulator
+                    .run([&] {
+                      auto c = workloads::VpicIoKernel::sim_config(
+                          spec, 128, model::IoMode::kSync);
+                      c.contention_sigma_override = 0.0;
+                      return c;
+                    }())
+                    .epochs[0]
+                    .io_blocking_seconds);
+    run_tier(spec, sim::StagingTier::kDram, "on-node DRAM", nodes);
+    run_tier(spec, sim::StagingTier::kNodeLocalSsd, "node-local NVMe (1.6 TB/node)",
+             nodes);
+  }
+  {
+    const auto spec = sim::SystemSpec::cori_haswell();
+    sim::EpochSimulator simulator(spec);
+    std::printf("\n== %s ==\n", spec.name.c_str());
+    std::printf("  reference sync I/O phase at 32 nodes: %.2f s\n",
+                simulator
+                    .run([&] {
+                      auto c = workloads::VpicIoKernel::sim_config(
+                          spec, 32, model::IoMode::kSync);
+                      c.contention_sigma_override = 0.0;
+                      return c;
+                    }())
+                    .epochs[0]
+                    .io_blocking_seconds);
+    run_tier(spec, sim::StagingTier::kDram, "on-node DRAM", nodes);
+    run_tier(spec, sim::StagingTier::kBurstBuffer, "DataWarp burst buffer (shared)",
+             nodes);
+  }
+  std::printf(
+      "\nshape check: DRAM staging gives the highest observed bandwidth;\n"
+      "SSD/BB staging still beats synchronous PFS writes while offering\n"
+      "capacity for whole checkpoints.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 1: the three overlap scenarios as epoch-model timelines.
+// Renders the sync and async epoch structure for (a) ideal overlap,
+// (b) partial overlap and (c) the slowdown case, plus the algebraic
+// outcome of Eq. 2a/2b.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "model/epoch_model.h"
+
+namespace apio {
+namespace {
+
+std::string bar(double seconds, double unit, char fill) {
+  const int width = std::max(1, static_cast<int>(seconds / unit + 0.5));
+  return std::string(static_cast<std::size_t>(width), fill);
+}
+
+void render(const char* title, const model::EpochCosts& costs) {
+  using namespace model;
+  const double sync = sync_epoch_seconds(costs);
+  const double async = async_epoch_seconds(costs);
+  const double unit = std::max(sync, async) / 48.0;
+
+  std::printf("\n--- %s ---\n", title);
+  std::printf("costs: t_comp=%.2fs t_io=%.2fs t_transact=%.2fs\n", costs.t_comp,
+              costs.t_io, costs.t_transact);
+  // Sync timeline: compute then blocking I/O.
+  std::printf("  sync : [%s%s] %.2fs\n", bar(costs.t_comp, unit, 'C').c_str(),
+              bar(costs.t_io, unit, 'I').c_str(), sync);
+  // Async timeline: overhead (staging copy), then compute overlapping
+  // background I/O; the exposed remainder (if any) trails.
+  const double exposed = std::max(0.0, costs.t_io - costs.t_comp);
+  std::printf("  async: [%s%s%s] %.2fs\n", bar(costs.t_transact, unit, 'O').c_str(),
+              bar(costs.t_comp, unit, 'C').c_str(),
+              exposed > 0 ? bar(exposed, unit, 'i').c_str() : "", async);
+  std::printf("  scenario=%s  speedup=%.2fx  (C=compute, I=blocking I/O,\n"
+              "  O=transactional overhead, i=exposed async I/O remainder)\n",
+              to_string(classify_overlap(costs)).c_str(), async_speedup(costs));
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  using apio::model::EpochCosts;
+  apio::bench::banner("Fig. 1: overlap scenarios of the epoch model",
+                      "Eq. 2a: t_sync = t_io + t_comp ; "
+                      "Eq. 2b: t_async = max(t_comp, t_io - t_comp) + t_transact");
+  apio::render("(a) ideal: computation longer than I/O",
+               EpochCosts{.t_comp = 6.0, .t_io = 4.0, .t_transact = 0.5});
+  apio::render("(b) partial overlap: I/O longer than computation",
+               EpochCosts{.t_comp = 2.0, .t_io = 6.0, .t_transact = 0.5});
+  apio::render("(c) slowdown: overhead exceeds the feasible overlap",
+               EpochCosts{.t_comp = 0.4, .t_io = 0.3, .t_transact = 0.8});
+  return 0;
+}

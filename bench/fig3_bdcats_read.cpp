@@ -1,0 +1,47 @@
+// Fig. 3c/3d: BD-CATS-IO read, weak scaling, sync vs async on Summit
+// and Cori-Haswell.  Async reads use the VOL's prefetch path: the first
+// time step blocks, subsequent steps are served from node-local memory,
+// so the calculated aggregate bandwidth is orders of magnitude above
+// the synchronous reads (the paper's observation in Sec. V-A2).
+#include "bench/bench_util.h"
+#include "workloads/bdcats_io.h"
+
+namespace apio {
+namespace {
+
+void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts) {
+  sim::EpochSimulator simulator(spec);
+  model::ModeAdvisor advisor;
+
+  bench::banner("Fig. 3 (" + spec.name + "): BD-CATS-IO read, weak scaling",
+                "reads VPIC-IO output, prefetch after first step, 5 steps");
+
+  std::vector<bench::SweepPoint> points;
+  for (int nodes : node_counts) {
+    auto sync_cfg =
+        workloads::BdCatsIoKernel::sim_config(spec, nodes, model::IoMode::kSync);
+    auto async_cfg =
+        workloads::BdCatsIoKernel::sim_config(spec, nodes, model::IoMode::kAsync);
+    sync_cfg.contention_sigma_override = 0.0;
+    async_cfg.contention_sigma_override = 0.0;
+    bench::SweepPoint p;
+    p.nodes = nodes;
+    p.bytes = sync_cfg.bytes_per_epoch;
+    p.sync_bw = bench::run_point(simulator, sync_cfg, &advisor);
+    p.async_bw = bench::run_point(simulator, async_cfg, &advisor);
+    points.push_back(p);
+  }
+
+  bench::print_sweep(advisor, spec, points);
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  apio::run_system(apio::sim::SystemSpec::summit(),
+                   {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048});
+  apio::run_system(apio::sim::SystemSpec::cori_haswell(),
+                   {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 3a/3b: VPIC-IO write, weak scaling, sync vs async aggregate
+// bandwidth on Summit (GPFS) and Cori-Haswell (Lustre), with the
+// model's estimate (the paper's dotted line) fitted from the observed
+// history via the Fig. 2 feedback loop.
+//
+// Expected shape (paper): sync saturates at ~768 ranks / 128 nodes on
+// Summit and ~1024 ranks / 32 nodes on Cori; async scales linearly with
+// node count because only the node-local staging copy blocks.
+#include "bench/bench_util.h"
+#include "workloads/vpic_io.h"
+
+namespace apio {
+namespace {
+
+void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts) {
+  sim::EpochSimulator simulator(spec);
+  model::ModeAdvisor advisor;
+
+  bench::banner("Fig. 3 (" + spec.name + "): VPIC-IO write, weak scaling",
+                "32 MB per property per rank, 8 properties, " +
+                    std::to_string(spec.ranks_per_node) + " ranks/node, 5 steps");
+
+  // First pass: execute the sweep and feed the advisor's history.
+  std::vector<bench::SweepPoint> points;
+  for (int nodes : node_counts) {
+    auto sync_cfg = workloads::VpicIoKernel::sim_config(spec, nodes, model::IoMode::kSync);
+    auto async_cfg =
+        workloads::VpicIoKernel::sim_config(spec, nodes, model::IoMode::kAsync);
+    sync_cfg.contention_sigma_override = 0.0;
+    async_cfg.contention_sigma_override = 0.0;
+    bench::SweepPoint p;
+    p.nodes = nodes;
+    p.bytes = sync_cfg.bytes_per_epoch;
+    p.sync_bw = bench::run_point(simulator, sync_cfg, &advisor);
+    p.async_bw = bench::run_point(simulator, async_cfg, &advisor);
+    points.push_back(p);
+  }
+
+  // Second pass: print measurements next to the fitted estimates.
+  bench::print_sweep(advisor, spec, points);
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  apio::run_system(apio::sim::SystemSpec::summit(),
+                   {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048});
+  apio::run_system(apio::sim::SystemSpec::cori_haswell(),
+                   {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return 0;
+}

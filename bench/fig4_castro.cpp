@@ -1,0 +1,51 @@
+// Fig. 4c/4d: Castro checkpoint I/O under strong scaling (128^3 domain,
+// 6 multifab components, 2 particles per cell).
+//
+// Expected shape (paper): on Summit the sync aggregate bandwidth
+// *decreases* as ranks grow (GPFS allocates I/O resources reactively
+// and per-writer metadata cost rises); on Cori it increases until
+// saturating around 2048 ranks.  Async shows the opposite trend —
+// linear speedup, since the per-node staging copy cost is constant.
+#include "bench/bench_util.h"
+#include "workloads/castro.h"
+
+namespace apio {
+namespace {
+
+void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts) {
+  sim::EpochSimulator simulator(spec);
+  model::ModeAdvisor advisor;
+  workloads::CastroParams params;  // paper defaults
+
+  bench::banner("Fig. 4 (" + spec.name + "): Castro, strong scaling",
+                "128^3, 6 components, 2 particles/cell, checkpoint bytes = " +
+                    format_bytes(workloads::CastroProxy::checkpoint_bytes(params)));
+
+  std::vector<bench::SweepPoint> points;
+  for (int nodes : node_counts) {
+    auto sync_cfg =
+        workloads::CastroProxy::sim_config(spec, nodes, model::IoMode::kSync, params);
+    auto async_cfg =
+        workloads::CastroProxy::sim_config(spec, nodes, model::IoMode::kAsync, params);
+    sync_cfg.contention_sigma_override = 0.0;
+    async_cfg.contention_sigma_override = 0.0;
+    bench::SweepPoint p;
+    p.nodes = nodes;
+    p.bytes = sync_cfg.bytes_per_epoch;
+    p.sync_bw = bench::run_point(simulator, sync_cfg, &advisor);
+    p.async_bw = bench::run_point(simulator, async_cfg, &advisor);
+    points.push_back(p);
+  }
+
+  bench::print_sweep(advisor, spec, points);
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  apio::run_system(apio::sim::SystemSpec::summit(), {8, 16, 32, 64, 128, 256, 512});
+  apio::run_system(apio::sim::SystemSpec::cori_haswell(),
+                   {2, 4, 8, 16, 32, 64, 128, 256});
+  return 0;
+}

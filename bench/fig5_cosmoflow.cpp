@@ -1,0 +1,36 @@
+// Fig. 5: Cosmoflow batch-read bandwidth on Summit (the paper only ran
+// it where GPUs are available).  Sync reads stop scaling past ~128
+// nodes; the prefetching async loader maintains a higher bandwidth.
+#include "bench/bench_util.h"
+#include "workloads/cosmoflow.h"
+
+int main() {
+  using namespace apio;
+  const auto spec = sim::SystemSpec::summit();
+  sim::EpochSimulator simulator(spec);
+  model::ModeAdvisor advisor;
+  workloads::CosmoflowParams params;  // 128^3 voxels, batch 8, 4 epochs
+
+  bench::banner("Fig. 5 (" + spec.name + "): Cosmoflow batch reads",
+                "128^3 voxel samples, batch size 8, 4 training epochs, "
+                "GPU-resident training data");
+
+  std::vector<bench::SweepPoint> points;
+  for (int nodes : {8, 16, 32, 64, 128, 256, 512}) {
+    auto sync_cfg = workloads::CosmoflowProxy::sim_config(spec, nodes,
+                                                          model::IoMode::kSync, params);
+    auto async_cfg = workloads::CosmoflowProxy::sim_config(
+        spec, nodes, model::IoMode::kAsync, params);
+    sync_cfg.contention_sigma_override = 0.0;
+    async_cfg.contention_sigma_override = 0.0;
+    bench::SweepPoint p;
+    p.nodes = nodes;
+    p.bytes = sync_cfg.bytes_per_epoch;
+    p.sync_bw = bench::run_point(simulator, sync_cfg, &advisor);
+    p.async_bw = bench::run_point(simulator, async_cfg, &advisor);
+    points.push_back(p);
+  }
+
+  bench::print_sweep(advisor, spec, points);
+  return 0;
+}

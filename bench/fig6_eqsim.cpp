@@ -1,0 +1,37 @@
+// Fig. 6: EQSIM/SW4 checkpoint I/O on Summit under strong scaling
+// (grid spacing 50 m over 30000 x 30000 x 17000 m, checkpoint every 100
+// steps).  Per-rank data shrinks with scale, so sync bandwidth
+// decreases while async stays consistent.
+#include "bench/bench_util.h"
+#include "workloads/eqsim.h"
+
+int main() {
+  using namespace apio;
+  const auto spec = sim::SystemSpec::summit();
+  sim::EpochSimulator simulator(spec);
+  model::ModeAdvisor advisor;
+  workloads::EqsimParams params;  // 600 x 600 x 340 points, 6 components
+
+  bench::banner("Fig. 6 (" + spec.name + "): EQSIM checkpoints, strong scaling",
+                "grid size 50 => 600x600x340 points, 6 components, "
+                "checkpoint every 100 steps");
+
+  std::vector<bench::SweepPoint> points;
+  for (int nodes : {64, 128, 256, 512, 1024}) {
+    auto sync_cfg =
+        workloads::EqsimProxy::sim_config(spec, nodes, model::IoMode::kSync, params);
+    auto async_cfg =
+        workloads::EqsimProxy::sim_config(spec, nodes, model::IoMode::kAsync, params);
+    sync_cfg.contention_sigma_override = 0.0;
+    async_cfg.contention_sigma_override = 0.0;
+    bench::SweepPoint p;
+    p.nodes = nodes;
+    p.bytes = sync_cfg.bytes_per_epoch;
+    p.sync_bw = bench::run_point(simulator, sync_cfg, &advisor);
+    p.async_bw = bench::run_point(simulator, async_cfg, &advisor);
+    points.push_back(p);
+  }
+
+  bench::print_sweep(advisor, spec, points);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 8: run-to-run variability of VPIC-IO on Summit.  Each
+// configuration is executed >= 5 times with different contention seeds
+// ("across multiple days"); sync bandwidth varies with full-system
+// contention while async bandwidth is steady (node-local staging).
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "workloads/vpic_io.h"
+
+int main() {
+  using namespace apio;
+  const auto spec = sim::SystemSpec::summit();
+  sim::EpochSimulator simulator(spec);
+  constexpr int kRuns = 8;
+
+  bench::banner("Fig. 8 (" + spec.name + "): VPIC-IO variability across runs",
+                std::to_string(kRuns) +
+                    " runs per configuration with full-system contention "
+                    "(sigma = 0.35); async hides the variability");
+
+  std::printf("%8s %8s | %14s %14s %8s | %14s %14s %8s\n", "nodes", "ranks",
+              "sync min", "sync max", "cv", "async min", "async max", "cv");
+  std::printf("%8s %8s | %14s %14s %8s | %14s %14s %8s\n", "-----", "-----",
+              "--------", "--------", "--", "---------", "---------", "--");
+
+  for (int nodes : {8, 32, 128, 512}) {
+    RunningStats sync_stats;
+    RunningStats async_stats;
+    for (int run = 0; run < kRuns; ++run) {
+      auto sync_cfg =
+          workloads::VpicIoKernel::sim_config(spec, nodes, model::IoMode::kSync);
+      auto async_cfg =
+          workloads::VpicIoKernel::sim_config(spec, nodes, model::IoMode::kAsync);
+      sync_cfg.contention_sigma_override = 0.35;
+      async_cfg.contention_sigma_override = 0.35;
+      sync_cfg.seed = 1000 + static_cast<std::uint64_t>(run);
+      async_cfg.seed = 1000 + static_cast<std::uint64_t>(run);
+      sync_stats.add(simulator.run(sync_cfg).peak_bandwidth());
+      async_stats.add(simulator.run(async_cfg).peak_bandwidth());
+    }
+    std::printf("%8d %8d | %14s %14s %7.1f%% | %14s %14s %7.1f%%\n", nodes,
+                nodes * spec.ranks_per_node,
+                format_bandwidth(sync_stats.min()).c_str(),
+                format_bandwidth(sync_stats.max()).c_str(), 100.0 * sync_stats.cv(),
+                format_bandwidth(async_stats.min()).c_str(),
+                format_bandwidth(async_stats.max()).c_str(),
+                100.0 * async_stats.cv());
+  }
+  std::printf(
+      "\nshape check: sync coefficient of variation is large (contention-\n"
+      "driven); async cv is ~0 because only node-local staging blocks.\n");
+  return 0;
+}

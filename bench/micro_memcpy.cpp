@@ -1,0 +1,46 @@
+// Sec. III-B1 micro-benchmark: memcpy bandwidth between two CPU memory
+// buffers vs. transfer size, run for real with google-benchmark.  The
+// paper's observation — bandwidth becomes constant above ~32 MB — is
+// what justifies modelling the transactional overhead with a constant
+// rate for large requests.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+void BM_MemcpyBandwidth(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<char> src(bytes, 1);
+  std::vector<char> dst(bytes, 0);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+// 64 KiB .. 128 MiB: the paper's knee at 32 MB sits inside this sweep.
+BENCHMARK(BM_MemcpyBandwidth)->RangeMultiplier(4)->Range(64 << 10, 128 << 20);
+
+void BM_StagingCopyWithAllocation(benchmark::State& state) {
+  // The async VOL's transactional copy allocates the staging buffer per
+  // operation; measure the combined cost the connector actually pays.
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<char> src(bytes, 1);
+  for (auto _ : state) {
+    std::vector<char> staged(src.begin(), src.end());
+    benchmark::DoNotOptimize(staged.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+BENCHMARK(BM_StagingCopyWithAllocation)->RangeMultiplier(4)->Range(64 << 10, 64 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Sec. III objective 2: "estimating scalability".  The model is fitted
+// only on small-scale observations (<= 64 nodes) and asked to forecast
+// the aggregate bandwidth at 128..2048 nodes; the simulated truth at
+// those scales measures forecast quality.  This is the capability a
+// practitioner actually wants: predict large-allocation behaviour from
+// cheap small-allocation runs.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "workloads/vpic_io.h"
+
+namespace apio {
+namespace {
+
+void forecast(const sim::SystemSpec& spec, model::IoMode mode, const char* label,
+              const std::vector<int>& train_nodes,
+              const std::vector<int>& test_nodes) {
+  sim::EpochSimulator simulator(spec);
+  model::ModeAdvisor advisor;
+
+  for (int nodes : train_nodes) {
+    auto config = workloads::VpicIoKernel::sim_config(spec, nodes, mode);
+    config.contention_sigma_override = 0.0;
+    config.observer = &advisor;
+    simulator.run(config);
+  }
+
+  std::printf("\n  %s (trained on <= %d nodes):\n", label, train_nodes.back());
+  std::printf("  %8s | %14s %14s %10s\n", "nodes", "forecast", "simulated", "error");
+  double worst = 0.0;
+  for (int nodes : test_nodes) {
+    auto config = workloads::VpicIoKernel::sim_config(spec, nodes, mode);
+    config.contention_sigma_override = 0.0;
+    const auto truth = simulator.run(config);
+    const int ranks = nodes * spec.ranks_per_node;
+    const double predicted =
+        bench::estimate_bw(advisor, mode == model::IoMode::kAsync,
+                           config.bytes_per_epoch, ranks);
+    const double actual = truth.peak_bandwidth();
+    const double error = std::fabs(predicted - actual) / actual;
+    worst = std::max(worst, error);
+    std::printf("  %8d | %14s %14s %9.1f%%\n", nodes,
+                format_bandwidth(predicted).c_str(), format_bandwidth(actual).c_str(),
+                100.0 * error);
+  }
+  std::printf("  worst-case forecast error: %.1f%%\n", 100.0 * worst);
+}
+
+}  // namespace
+}  // namespace apio
+
+int main() {
+  using namespace apio;
+  bench::banner("Sec. III objective 2: scalability forecasting",
+                "fit on small allocations, forecast aggregate bandwidth at "
+                "4-32x the trained scale (VPIC-IO weak scaling)");
+
+  const auto summit = sim::SystemSpec::summit();
+  forecast(summit, model::IoMode::kAsync, "summit, async writes",
+           {2, 4, 8, 16, 32, 64}, {128, 256, 512, 1024, 2048});
+  forecast(summit, model::IoMode::kSync, "summit, sync writes",
+           {2, 4, 8, 16, 32, 64}, {128, 256, 512, 1024, 2048});
+
+  const auto cori = sim::SystemSpec::cori_haswell();
+  forecast(cori, model::IoMode::kAsync, "cori, async writes", {1, 2, 4, 8, 16},
+           {32, 64, 128, 256});
+  forecast(cori, model::IoMode::kSync, "cori, sync writes", {1, 2, 4, 8, 16},
+           {32, 64, 128, 256});
+
+  std::printf(
+      "\nshape check: async forecasts are near-exact at any scale (the\n"
+      "trend is linear in node count); sync forecasts overshoot once the\n"
+      "PFS cap binds beyond the trained regime — exactly why the paper\n"
+      "models the *ideal* sync bandwidth and keeps refitting from new\n"
+      "observations (Fig. 2) rather than extrapolating blindly.\n");
+  return 0;
+}

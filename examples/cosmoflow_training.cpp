@@ -1,0 +1,72 @@
+// Cosmoflow-style training-loop example: a deep-learning data loader
+// reading 3-D volume batches from a shared container with lookahead
+// prefetching (the paper's custom PyTorch DataLoader, Sec. IV-C).
+// Compares a plain synchronous loader against the prefetching async
+// loader on the same throttled storage.
+#include <cstdio>
+
+#include "common/units.h"
+#include "storage/memory_backend.h"
+#include "storage/throttled_backend.h"
+#include "vol/async_connector.h"
+#include "vol/native_connector.h"
+#include "workloads/cosmoflow.h"
+
+int main() {
+  using namespace apio;
+
+  workloads::CosmoflowParams params;
+  params.samples_per_rank = 8;
+  params.sample_shape = {32, 32, 32};
+  params.batch_size = 2;
+  params.epochs = 2;
+  params.seconds_per_batch = 0.08;  // emulated forward+backward pass
+
+  auto make_storage = [] {
+    storage::ThrottleParams throttle;
+    throttle.bandwidth = 24.0 * kMiB;
+    throttle.time_scale = 1.0;
+    return std::make_shared<storage::ThrottledBackend>(
+        std::make_shared<storage::MemoryBackend>(), throttle);
+  };
+
+  std::printf("Cosmoflow loader: %d samples/rank of %s, batch %d, %d epochs\n",
+              params.samples_per_rank,
+              format_bytes(32ull * 32 * 32 * sizeof(float)).c_str(),
+              params.batch_size, params.epochs);
+  std::printf("\n%10s | %14s %14s %12s\n", "loader", "peak batch BW", "total time",
+              "cache hits");
+
+  for (bool prefetch : {false, true}) {
+    params.prefetch = prefetch;
+    workloads::CosmoflowProxy proxy(params);
+    auto file = h5::File::create(make_storage());
+    std::shared_ptr<vol::Connector> connector;
+    std::shared_ptr<vol::AsyncConnector> async_connector;
+    if (prefetch) {
+      async_connector = std::make_shared<vol::AsyncConnector>(file);
+      connector = async_connector;
+    } else {
+      connector = std::make_shared<vol::NativeConnector>(file);
+    }
+
+    workloads::CosmoflowRunResult result;
+    pmpi::run(2, [&](pmpi::Communicator& comm) {
+      proxy.prepare(*connector, comm);
+      comm.barrier();
+      auto r = proxy.train(*connector, comm);
+      if (comm.rank() == 0) result = r;
+    });
+
+    std::printf("%10s | %14s %13.2fs %12llu\n",
+                prefetch ? "prefetch" : "sync",
+                format_bandwidth(result.peak_bandwidth()).c_str(),
+                result.total_seconds,
+                static_cast<unsigned long long>(
+                    async_connector ? async_connector->stats().cache_hits : 0));
+    connector->close();
+  }
+  std::printf("\nthe prefetching loader overlaps the next batch's read with the\n"
+              "current training step — the Fig. 5 effect at laptop scale.\n");
+  return 0;
+}

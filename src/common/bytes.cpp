@@ -1,0 +1,23 @@
+#include "common/bytes.h"
+
+namespace apio {
+
+void ByteWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) buf_.push_back(std::byte{static_cast<std::uint8_t>(c)});
+}
+
+void ByteWriter::put_bytes(std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::string ByteReader::get_string() {
+  const std::uint32_t n = get_u32();
+  auto bytes = get_bytes(n);
+  std::string s;
+  s.reserve(n);
+  for (std::byte b : bytes) s.push_back(static_cast<char>(std::to_integer<std::uint8_t>(b)));
+  return s;
+}
+
+}  // namespace apio

@@ -1,0 +1,63 @@
+// Wall-clock and virtual-clock utilities.
+//
+// Library code that must work both in real executions (tests, examples,
+// the real async VOL) and in virtual-time simulations (bench harness at
+// 2048 nodes) is written against the Clock interface.
+#pragma once
+
+#include <chrono>
+
+namespace apio {
+
+/// Abstract monotonic clock in seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since an arbitrary epoch.
+  virtual double now() const = 0;
+};
+
+/// Real monotonic wall clock.
+class WallClock final : public Clock {
+ public:
+  double now() const override {
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch()).count();
+  }
+};
+
+/// Manually-advanced clock used by the discrete simulators.
+class VirtualClock final : public Clock {
+ public:
+  double now() const override { return now_; }
+
+  /// Moves the clock forward by `dt` seconds (dt >= 0).
+  void advance(double dt) { now_ += dt; }
+
+  /// Jumps the clock to an absolute time >= now().
+  void advance_to(double t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Simple RAII-free stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsed() const { return clock_->now() - start_; }
+
+  void restart() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  double start_;
+};
+
+}  // namespace apio

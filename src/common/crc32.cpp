@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace apio {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0x82F63B78u;  // reflected CRC-32C
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = build_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  const auto& t = table();
+  std::uint32_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^ t[(crc ^ std::to_integer<std::uint32_t>(b)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace apio

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) — software table implementation, used to protect
+// the container's superblock and metadata blocks against corruption and
+// torn writes (HDF5 v3 object headers carry the same style of checksum).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace apio {
+
+/// CRC-32C of `data`, optionally continuing from a previous value
+/// (pass the prior return value to checksum split buffers).
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+}  // namespace apio

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace apio::detail {
+
+void throw_check_failure(const char* expr, const std::string& message,
+                         std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " [" << loc.function_name()
+     << "] check failed: (" << expr << ") — " << message;
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace apio::detail

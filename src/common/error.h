@@ -1,0 +1,71 @@
+// Error handling primitives shared by every apio module.
+//
+// apio uses exceptions for unrecoverable API misuse and I/O failures
+// (per C++ Core Guidelines E.2) and assertion-style macros for internal
+// invariants.  All exceptions thrown by the library derive from
+// apio::Error so callers can catch one type at the boundary.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace apio {
+
+/// Base class of every exception thrown by the apio library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates an API precondition (bad argument,
+/// wrong object state, out-of-range selection, ...).
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an on-disk structure is malformed or truncated.
+class FormatError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an underlying storage backend fails (POSIX errors,
+/// out-of-space, reads past end of object, ...).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an object lookup fails (missing dataset, group, path).
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an operation is attempted on a closed or shut-down object.
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr,
+                                      const std::string& message,
+                                      std::source_location loc);
+}  // namespace detail
+
+}  // namespace apio
+
+/// Precondition check: throws apio::InvalidArgumentError when `expr` is false.
+#define APIO_REQUIRE(expr, message)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::apio::detail::throw_check_failure(#expr, (message),            \
+                                          std::source_location::current()); \
+    }                                                                   \
+  } while (false)
+
+/// Internal invariant check; failure indicates a bug in apio itself.
+#define APIO_ASSERT(expr, message) APIO_REQUIRE(expr, message)

@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace apio {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[apio:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace apio

@@ -1,0 +1,35 @@
+// Minimal leveled logger.  Off by default at DEBUG; controlled globally.
+// Thread-safe: each message is formatted locally and written under a mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace apio {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message);
+}
+
+}  // namespace apio
+
+#define APIO_LOG(level, expr)                              \
+  do {                                                     \
+    if (static_cast<int>(level) >=                         \
+        static_cast<int>(::apio::log_level())) {           \
+      std::ostringstream apio_log_os;                      \
+      apio_log_os << expr;                                 \
+      ::apio::detail::log_message(level, apio_log_os.str()); \
+    }                                                      \
+  } while (false)
+
+#define APIO_LOG_DEBUG(expr) APIO_LOG(::apio::LogLevel::kDebug, expr)
+#define APIO_LOG_INFO(expr) APIO_LOG(::apio::LogLevel::kInfo, expr)
+#define APIO_LOG_WARN(expr) APIO_LOG(::apio::LogLevel::kWarn, expr)
+#define APIO_LOG_ERROR(expr) APIO_LOG(::apio::LogLevel::kError, expr)

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// apio simulations must be reproducible run-to-run, so every stochastic
+// component takes an explicit Rng seeded by the caller; nothing in the
+// library reads a global entropy source.
+#pragma once
+
+#include <cstdint>
+
+namespace apio {
+
+/// xoshiro256** 1.0 — fast, high-quality, splittable-enough PRNG for
+/// simulation workloads (Blackman & Vigna).  Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a 64-bit seed using
+  /// SplitMix64 to fill the state.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double next_double();
+
+  /// Returns a double uniformly distributed in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Returns an integer uniformly distributed in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Returns a sample from a normal distribution (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Returns a sample from a log-normal distribution parameterised by the
+  /// mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Returns an exponentially distributed sample with the given rate.
+  double exponential(double rate);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// rank / node its own stream.
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace apio

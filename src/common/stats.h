@@ -1,0 +1,65 @@
+// Small descriptive-statistics helpers used by the performance model,
+// the contention analysis (Fig. 8) and the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace apio {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two points.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Median shorthand.
+double median(std::span<const double> xs);
+
+/// Exponentially-weighted moving average with decay `alpha` in (0, 1];
+/// newer samples carry more weight.  Used by the compute-time estimator
+/// (Sec. III-B of the paper: "weighted average over the measurements
+/// taken in previous iterations").
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  bool empty() const { return !seeded_; }
+  /// Current estimate; requires at least one sample.
+  double value() const;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace apio

@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace apio {
+namespace {
+
+std::string format_with_suffix(double value, const char* suffix) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2f %s", value, suffix);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kTiB) return format_with_suffix(b / static_cast<double>(kTiB), "TiB");
+  if (bytes >= kGiB) return format_with_suffix(b / static_cast<double>(kGiB), "GiB");
+  if (bytes >= kMiB) return format_with_suffix(b / static_cast<double>(kMiB), "MiB");
+  if (bytes >= kKiB) return format_with_suffix(b / static_cast<double>(kKiB), "KiB");
+  return format_with_suffix(b, "B");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  if (bytes_per_second >= kTB) return format_with_suffix(bytes_per_second / kTB, "TB/s");
+  if (bytes_per_second >= kGB) return format_with_suffix(bytes_per_second / kGB, "GB/s");
+  if (bytes_per_second >= kMB) return format_with_suffix(bytes_per_second / kMB, "MB/s");
+  if (bytes_per_second >= kKB) return format_with_suffix(bytes_per_second / kKB, "KB/s");
+  return format_with_suffix(bytes_per_second, "B/s");
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 1e-6) return format_with_suffix(seconds * 1e9, "ns");
+  if (seconds < 1e-3) return format_with_suffix(seconds * 1e6, "us");
+  if (seconds < 1.0) return format_with_suffix(seconds * 1e3, "ms");
+  return format_with_suffix(seconds, "s");
+}
+
+}  // namespace apio

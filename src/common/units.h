@@ -1,0 +1,35 @@
+// Size, time and bandwidth units used throughout apio.
+//
+// Conventions:
+//   * sizes are in bytes (std::uint64_t),
+//   * times are in seconds (double) — virtual or wall clock,
+//   * bandwidths are in bytes/second (double).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace apio {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+/// Decimal units, used when quoting file-system vendor bandwidth figures
+/// (e.g. "2.5 TB/s GPFS" means 2.5e12 bytes/s).
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+/// Formats a byte count with a binary-unit suffix, e.g. "32.0 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a bandwidth in bytes/second as e.g. "1.25 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Formats a duration in seconds with an adaptive unit (ns/us/ms/s).
+std::string format_seconds(double seconds);
+
+}  // namespace apio

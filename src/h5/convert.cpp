@@ -1,0 +1,65 @@
+#include "h5/convert.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace apio::h5 {
+namespace {
+
+template <typename From, typename To>
+void convert_typed(std::span<const std::byte> src, std::span<std::byte> dst,
+                   std::uint64_t count) {
+  const From* in = reinterpret_cast<const From*>(src.data());
+  To* out = reinterpret_cast<To*>(dst.data());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out[i] = static_cast<To>(in[i]);
+  }
+}
+
+template <typename From>
+void convert_from(std::span<const std::byte> src, Datatype to,
+                  std::span<std::byte> dst, std::uint64_t count) {
+  switch (to) {
+    case Datatype::kInt8: convert_typed<From, std::int8_t>(src, dst, count); return;
+    case Datatype::kUInt8: convert_typed<From, std::uint8_t>(src, dst, count); return;
+    case Datatype::kInt16: convert_typed<From, std::int16_t>(src, dst, count); return;
+    case Datatype::kUInt16: convert_typed<From, std::uint16_t>(src, dst, count); return;
+    case Datatype::kInt32: convert_typed<From, std::int32_t>(src, dst, count); return;
+    case Datatype::kUInt32: convert_typed<From, std::uint32_t>(src, dst, count); return;
+    case Datatype::kInt64: convert_typed<From, std::int64_t>(src, dst, count); return;
+    case Datatype::kUInt64: convert_typed<From, std::uint64_t>(src, dst, count); return;
+    case Datatype::kFloat32: convert_typed<From, float>(src, dst, count); return;
+    case Datatype::kFloat64: convert_typed<From, double>(src, dst, count); return;
+  }
+  throw InvalidArgumentError("unknown destination datatype");
+}
+
+}  // namespace
+
+void convert_elements(Datatype from, std::span<const std::byte> src, Datatype to,
+                      std::span<std::byte> dst, std::uint64_t count) {
+  APIO_REQUIRE(src.size() == count * datatype_size(from),
+               "conversion source buffer size mismatch");
+  APIO_REQUIRE(dst.size() == count * datatype_size(to),
+               "conversion destination buffer size mismatch");
+  if (from == to) {
+    std::memcpy(dst.data(), src.data(), src.size());
+    return;
+  }
+  switch (from) {
+    case Datatype::kInt8: convert_from<std::int8_t>(src, to, dst, count); return;
+    case Datatype::kUInt8: convert_from<std::uint8_t>(src, to, dst, count); return;
+    case Datatype::kInt16: convert_from<std::int16_t>(src, to, dst, count); return;
+    case Datatype::kUInt16: convert_from<std::uint16_t>(src, to, dst, count); return;
+    case Datatype::kInt32: convert_from<std::int32_t>(src, to, dst, count); return;
+    case Datatype::kUInt32: convert_from<std::uint32_t>(src, to, dst, count); return;
+    case Datatype::kInt64: convert_from<std::int64_t>(src, to, dst, count); return;
+    case Datatype::kUInt64: convert_from<std::uint64_t>(src, to, dst, count); return;
+    case Datatype::kFloat32: convert_from<float>(src, to, dst, count); return;
+    case Datatype::kFloat64: convert_from<double>(src, to, dst, count); return;
+  }
+  throw InvalidArgumentError("unknown source datatype");
+}
+
+}  // namespace apio::h5

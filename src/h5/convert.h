@@ -1,0 +1,22 @@
+// Element-wise datatype conversion, the HDF5-style "memory type vs file
+// type" feature: an application may read a float32 dataset into double
+// buffers (analysis at higher precision) or write doubles into a
+// float32 dataset (checkpoint compression), with the library converting
+// on the data path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "h5/datatype.h"
+
+namespace apio::h5 {
+
+/// Converts `count` elements from `src` (elements of type `from`) into
+/// `dst` (elements of type `to`) with static_cast semantics per
+/// element.  Buffer byte sizes must match count * element size; throws
+/// InvalidArgumentError otherwise.  `from == to` degenerates to memcpy.
+void convert_elements(Datatype from, std::span<const std::byte> src, Datatype to,
+                      std::span<std::byte> dst, std::uint64_t count);
+
+}  // namespace apio::h5

@@ -1,0 +1,226 @@
+#include "h5/dataspace.h"
+
+#include "common/error.h"
+
+namespace apio::h5 {
+namespace {
+
+std::uint64_t dim_or_one(const Dims& dims, std::size_t i) {
+  return dims.empty() ? 1 : dims[i];
+}
+
+}  // namespace
+
+std::uint64_t Hyperslab::npoints() const {
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    n *= count[i] * dim_or_one(block, i);
+  }
+  return n;
+}
+
+Selection Selection::all() { return Selection{}; }
+
+Selection Selection::hyperslab(Hyperslab slab) {
+  Selection s;
+  s.is_all_ = false;
+  s.slab_ = std::move(slab);
+  return s;
+}
+
+Selection Selection::offsets(Dims start, Dims count) {
+  Hyperslab slab;
+  slab.start = std::move(start);
+  slab.count = std::move(count);
+  return hyperslab(std::move(slab));
+}
+
+std::uint64_t Selection::npoints(const Dims& extent) const {
+  if (is_all_) return num_elements(extent);
+  return slab_.npoints();
+}
+
+void Selection::validate(const Dims& extent) const {
+  if (is_all_) return;
+  const std::size_t rank = extent.size();
+  APIO_REQUIRE(slab_.start.size() == rank && slab_.count.size() == rank,
+               "hyperslab rank does not match dataspace rank");
+  APIO_REQUIRE(slab_.stride.empty() || slab_.stride.size() == rank,
+               "hyperslab stride rank mismatch");
+  APIO_REQUIRE(slab_.block.empty() || slab_.block.size() == rank,
+               "hyperslab block rank mismatch");
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::uint64_t stride = dim_or_one(slab_.stride, i);
+    const std::uint64_t block = dim_or_one(slab_.block, i);
+    APIO_REQUIRE(stride >= 1, "hyperslab stride must be >= 1");
+    APIO_REQUIRE(block >= 1, "hyperslab block must be >= 1");
+    APIO_REQUIRE(block <= stride || slab_.count[i] <= 1,
+                 "hyperslab blocks overlap (block > stride)");
+    if (slab_.count[i] == 0) continue;
+    const std::uint64_t last =
+        slab_.start[i] + (slab_.count[i] - 1) * stride + block;
+    APIO_REQUIRE(last <= extent[i], "hyperslab exceeds dataspace extent");
+  }
+}
+
+std::uint64_t num_elements(const Dims& extent) {
+  std::uint64_t n = 1;
+  for (std::uint64_t d : extent) n *= d;
+  return n;
+}
+
+std::vector<std::uint64_t> row_pitches(const Dims& extent) {
+  std::vector<std::uint64_t> pitch(extent.size(), 1);
+  for (std::size_t i = extent.size(); i-- > 1;) {
+    pitch[i - 1] = pitch[i] * extent[i];
+  }
+  return pitch;
+}
+
+namespace {
+
+/// Merges adjacent runs before forwarding them: a hyperslab that covers
+/// full trailing dimensions (e.g. whole samples of a [N, X, Y, Z]
+/// dataset) otherwise decomposes into thousands of tiny per-row runs,
+/// each paying a backend round-trip.
+class RunCoalescer {
+ public:
+  explicit RunCoalescer(const std::function<void(std::uint64_t, std::uint64_t)>& fn)
+      : fn_(fn) {}
+
+  void add(std::uint64_t offset, std::uint64_t count) {
+    if (pending_count_ > 0 && offset == pending_offset_ + pending_count_) {
+      pending_count_ += count;
+      return;
+    }
+    flush();
+    pending_offset_ = offset;
+    pending_count_ = count;
+  }
+
+  /// Emits the trailing run.  Must be called explicitly — emitting from
+  /// the destructor would turn a throwing consumer (e.g. a failing
+  /// backend write) into std::terminate.
+  void finish() { flush(); }
+
+ private:
+  void flush() {
+    if (pending_count_ > 0) fn_(pending_offset_, pending_count_);
+    pending_count_ = 0;
+  }
+
+  const std::function<void(std::uint64_t, std::uint64_t)>& fn_;
+  std::uint64_t pending_offset_ = 0;
+  std::uint64_t pending_count_ = 0;
+};
+
+}  // namespace
+
+void for_each_run(const Dims& extent, const Selection& selection,
+                  const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  selection.validate(extent);
+  const std::size_t rank = extent.size();
+
+  if (selection.is_all() || rank == 0) {
+    const std::uint64_t n = num_elements(extent);
+    if (n > 0) fn(0, n);
+    return;
+  }
+
+  const Hyperslab& slab = selection.slab();
+  for (std::uint64_t c : slab.count) {
+    if (c == 0) return;  // empty selection
+  }
+
+  const auto pitch = row_pitches(extent);
+  const std::size_t last = rank - 1;
+  const std::uint64_t last_stride = dim_or_one(slab.stride, last);
+  const std::uint64_t last_block = dim_or_one(slab.block, last);
+  // A fully packed last dimension collapses into one run per outer coord.
+  const bool last_contiguous = (last_stride == last_block) || slab.count[last] == 1;
+
+  // Odometer over all dims except the innermost; for each outer
+  // coordinate tuple, emit the innermost run(s).  The coalescer merges
+  // runs that happen to be file-adjacent (full trailing dimensions).
+  RunCoalescer out(fn);
+  std::function<void(std::size_t, std::uint64_t)> walk =
+      [&](std::size_t dim, std::uint64_t base) {
+        if (dim == last) {
+          if (last_contiguous) {
+            const std::uint64_t off = base + slab.start[last];
+            out.add(off, slab.count[last] * last_block);
+          } else {
+            for (std::uint64_t b = 0; b < slab.count[last]; ++b) {
+              const std::uint64_t off = base + slab.start[last] + b * last_stride;
+              out.add(off, last_block);
+            }
+          }
+          return;
+        }
+        const std::uint64_t stride = dim_or_one(slab.stride, dim);
+        const std::uint64_t block = dim_or_one(slab.block, dim);
+        for (std::uint64_t b = 0; b < slab.count[dim]; ++b) {
+          for (std::uint64_t k = 0; k < block; ++k) {
+            const std::uint64_t coord = slab.start[dim] + b * stride + k;
+            walk(dim + 1, base + coord * pitch[dim]);
+          }
+        }
+      };
+  walk(0, 0);
+  out.finish();
+}
+
+void for_each_row_run(const Dims& extent, const Selection& selection,
+                      const std::function<void(const Dims&, std::uint64_t)>& fn) {
+  selection.validate(extent);
+  const std::size_t rank = extent.size();
+
+  if (rank == 0) {
+    fn(Dims{}, 1);
+    return;
+  }
+
+  // Normalise "all" to a covering hyperslab so one code path remains.
+  Hyperslab slab;
+  if (selection.is_all()) {
+    slab.start.assign(rank, 0);
+    slab.count = extent;
+  } else {
+    slab = selection.slab();
+  }
+  for (std::uint64_t c : slab.count) {
+    if (c == 0) return;
+  }
+
+  const std::size_t last = rank - 1;
+  const std::uint64_t last_stride = dim_or_one(slab.stride, last);
+  const std::uint64_t last_block = dim_or_one(slab.block, last);
+  const bool last_contiguous = (last_stride == last_block) || slab.count[last] == 1;
+
+  Dims coord(rank, 0);
+  std::function<void(std::size_t)> walk = [&](std::size_t dim) {
+    if (dim == last) {
+      if (last_contiguous) {
+        coord[last] = slab.start[last];
+        fn(coord, slab.count[last] * last_block);
+      } else {
+        for (std::uint64_t b = 0; b < slab.count[last]; ++b) {
+          coord[last] = slab.start[last] + b * last_stride;
+          fn(coord, last_block);
+        }
+      }
+      return;
+    }
+    const std::uint64_t stride = dim_or_one(slab.stride, dim);
+    const std::uint64_t block = dim_or_one(slab.block, dim);
+    for (std::uint64_t b = 0; b < slab.count[dim]; ++b) {
+      for (std::uint64_t k = 0; k < block; ++k) {
+        coord[dim] = slab.start[dim] + b * stride + k;
+        walk(dim + 1);
+      }
+    }
+  };
+  walk(0);
+}
+
+}  // namespace apio::h5

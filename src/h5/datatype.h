@@ -1,0 +1,48 @@
+// Scalar datatypes of the apio-h5 container, mirroring the HDF5 native
+// types the paper's kernels use (VPIC-IO writes 1-D float/int datasets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace apio::h5 {
+
+enum class Datatype : std::uint8_t {
+  kInt8 = 0,
+  kUInt8 = 1,
+  kInt16 = 2,
+  kUInt16 = 3,
+  kInt32 = 4,
+  kUInt32 = 5,
+  kInt64 = 6,
+  kUInt64 = 7,
+  kFloat32 = 8,
+  kFloat64 = 9,
+};
+
+/// Size of one element in bytes.
+std::size_t datatype_size(Datatype t);
+
+/// Stable name used in diagnostics ("float32", ...).
+std::string datatype_name(Datatype t);
+
+/// Parses a datatype code from disk; throws FormatError on junk.
+Datatype datatype_from_code(std::uint8_t code);
+
+/// Maps C++ arithmetic types onto Datatype tags.
+template <typename T>
+constexpr Datatype native_datatype();
+
+template <> constexpr Datatype native_datatype<std::int8_t>() { return Datatype::kInt8; }
+template <> constexpr Datatype native_datatype<std::uint8_t>() { return Datatype::kUInt8; }
+template <> constexpr Datatype native_datatype<std::int16_t>() { return Datatype::kInt16; }
+template <> constexpr Datatype native_datatype<std::uint16_t>() { return Datatype::kUInt16; }
+template <> constexpr Datatype native_datatype<std::int32_t>() { return Datatype::kInt32; }
+template <> constexpr Datatype native_datatype<std::uint32_t>() { return Datatype::kUInt32; }
+template <> constexpr Datatype native_datatype<std::int64_t>() { return Datatype::kInt64; }
+template <> constexpr Datatype native_datatype<std::uint64_t>() { return Datatype::kUInt64; }
+template <> constexpr Datatype native_datatype<float>() { return Datatype::kFloat32; }
+template <> constexpr Datatype native_datatype<double>() { return Datatype::kFloat64; }
+
+}  // namespace apio::h5

@@ -1,0 +1,226 @@
+#include "h5/filter.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace apio::h5 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RLE: control byte c in [0x00, 0x7F] => c+1 literal bytes follow;
+//      c in [0x80, 0xFF] => the next byte repeats (c - 0x80 + 2) times.
+
+std::vector<std::byte> rle_encode(std::span<const std::byte> raw) {
+  std::vector<std::byte> out;
+  out.reserve(raw.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    // Measure the run starting at i.
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == raw[i] && run < 129) ++run;
+    if (run >= 2) {
+      out.push_back(std::byte{static_cast<std::uint8_t>(0x80 + run - 2)});
+      out.push_back(raw[i]);
+      i += run;
+      continue;
+    }
+    // Literal run: extend until the next repeat of length >= 3 (short
+    // repeats are cheaper as literals) or the 128-byte cap.
+    std::size_t lit = 1;
+    while (i + lit < raw.size() && lit < 128) {
+      if (i + lit + 2 < raw.size() && raw[i + lit] == raw[i + lit + 1] &&
+          raw[i + lit] == raw[i + lit + 2]) {
+        break;
+      }
+      ++lit;
+    }
+    out.push_back(std::byte{static_cast<std::uint8_t>(lit - 1)});
+    out.insert(out.end(), raw.begin() + i, raw.begin() + i + lit);
+    i += lit;
+  }
+  return out;
+}
+
+std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,
+                                  std::size_t expected_size) {
+  std::vector<std::byte> out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    const std::uint8_t control = std::to_integer<std::uint8_t>(encoded[i++]);
+    if (control < 0x80) {
+      const std::size_t lit = control + 1u;
+      if (i + lit > encoded.size()) throw FormatError("RLE literal run truncated");
+      out.insert(out.end(), encoded.begin() + i, encoded.begin() + i + lit);
+      i += lit;
+    } else {
+      if (i >= encoded.size()) throw FormatError("RLE repeat run truncated");
+      const std::size_t run = control - 0x80u + 2u;
+      out.insert(out.end(), run, encoded[i++]);
+    }
+    if (out.size() > expected_size) throw FormatError("RLE stream overruns chunk");
+  }
+  if (out.size() != expected_size) {
+    throw FormatError("RLE stream decodes to " + std::to_string(out.size()) +
+                      " bytes, expected " + std::to_string(expected_size));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LZ: greedy LZ77, 64 KiB window, 4-byte minimum match.
+//   token = tag byte:
+//     tag < 0x80  => literal run of (tag + 1) bytes follows (max 128);
+//     tag >= 0x80 => match of length (tag - 0x80 + 4) (max 131), then a
+//                    little-endian u16 backward offset (1-based).
+
+constexpr std::size_t kWindow = 64 * 1024;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 131;
+constexpr std::size_t kHashBits = 15;
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void flush_literals(std::vector<std::byte>& out, std::span<const std::byte> raw,
+                    std::size_t lit_start, std::size_t lit_end) {
+  while (lit_start < lit_end) {
+    const std::size_t n = std::min<std::size_t>(128, lit_end - lit_start);
+    out.push_back(std::byte{static_cast<std::uint8_t>(n - 1)});
+    out.insert(out.end(), raw.begin() + lit_start, raw.begin() + lit_start + n);
+    lit_start += n;
+  }
+}
+
+std::vector<std::byte> lz_encode(std::span<const std::byte> raw) {
+  std::vector<std::byte> out;
+  out.reserve(raw.size() / 2 + 16);
+  std::vector<std::size_t> head(1u << kHashBits, SIZE_MAX);
+
+  std::size_t i = 0;
+  std::size_t lit_start = 0;
+  while (i + kMinMatch <= raw.size()) {
+    const std::uint32_t h = hash4(raw.data() + i);
+    const std::size_t candidate = head[h];
+    head[h] = i;
+    std::size_t match_len = 0;
+    if (candidate != SIZE_MAX && i - candidate <= kWindow &&
+        std::memcmp(raw.data() + candidate, raw.data() + i, kMinMatch) == 0) {
+      const std::size_t limit = std::min(kMaxMatch, raw.size() - i);
+      match_len = kMinMatch;
+      while (match_len < limit && raw[candidate + match_len] == raw[i + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      flush_literals(out, raw, lit_start, i);
+      const std::size_t offset = i - candidate;
+      out.push_back(std::byte{static_cast<std::uint8_t>(0x80 + match_len - kMinMatch)});
+      out.push_back(std::byte{static_cast<std::uint8_t>(offset & 0xFF)});
+      out.push_back(std::byte{static_cast<std::uint8_t>(offset >> 8)});
+      i += match_len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(out, raw, lit_start, raw.size());
+  return out;
+}
+
+std::vector<std::byte> lz_decode(std::span<const std::byte> encoded,
+                                 std::size_t expected_size) {
+  std::vector<std::byte> out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    const std::uint8_t tag = std::to_integer<std::uint8_t>(encoded[i++]);
+    if (tag < 0x80) {
+      const std::size_t lit = tag + 1u;
+      if (i + lit > encoded.size()) throw FormatError("LZ literal run truncated");
+      out.insert(out.end(), encoded.begin() + i, encoded.begin() + i + lit);
+      i += lit;
+    } else {
+      if (i + 2 > encoded.size()) throw FormatError("LZ match token truncated");
+      const std::size_t len = tag - 0x80u + kMinMatch;
+      const std::size_t offset = std::to_integer<std::size_t>(encoded[i]) |
+                                 (std::to_integer<std::size_t>(encoded[i + 1]) << 8);
+      i += 2;
+      if (offset == 0 || offset > out.size()) {
+        throw FormatError("LZ match offset out of window");
+      }
+      // Byte-by-byte copy: matches may self-overlap (run encoding).
+      std::size_t src = out.size() - offset;
+      for (std::size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    }
+    if (out.size() > expected_size) throw FormatError("LZ stream overruns chunk");
+  }
+  if (out.size() != expected_size) {
+    throw FormatError("LZ stream decodes to " + std::to_string(out.size()) +
+                      " bytes, expected " + std::to_string(expected_size));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string filter_name(FilterId id) {
+  switch (id) {
+    case FilterId::kNone: return "none";
+    case FilterId::kRle: return "rle";
+    case FilterId::kLz: return "lz";
+  }
+  return "?";
+}
+
+FilterId filter_from_code(std::uint8_t code) {
+  if (code > static_cast<std::uint8_t>(FilterId::kLz)) {
+    throw FormatError("invalid filter code " + std::to_string(code));
+  }
+  return static_cast<FilterId>(code);
+}
+
+std::vector<std::byte> filter_encode(FilterId id, std::span<const std::byte> raw) {
+  switch (id) {
+    case FilterId::kNone: return {raw.begin(), raw.end()};
+    case FilterId::kRle: return rle_encode(raw);
+    case FilterId::kLz: return lz_encode(raw);
+  }
+  throw InvalidArgumentError("unknown filter");
+}
+
+std::vector<std::byte> filter_decode(FilterId id, std::span<const std::byte> encoded,
+                                     std::size_t expected_size) {
+  if (encoded.size() > filter_bound(id, expected_size)) {
+    throw FormatError("stored chunk larger than the filter's worst case");
+  }
+  switch (id) {
+    case FilterId::kNone: {
+      if (encoded.size() != expected_size) {
+        throw FormatError("unfiltered chunk size mismatch");
+      }
+      return {encoded.begin(), encoded.end()};
+    }
+    case FilterId::kRle: return rle_decode(encoded, expected_size);
+    case FilterId::kLz: return lz_decode(encoded, expected_size);
+  }
+  throw InvalidArgumentError("unknown filter");
+}
+
+std::size_t filter_bound(FilterId id, std::size_t raw_size) {
+  switch (id) {
+    case FilterId::kNone: return raw_size;
+    case FilterId::kRle:
+    case FilterId::kLz:
+      // One control byte per 1-byte literal run in the degenerate case.
+      return 2 * raw_size + 16;
+  }
+  throw InvalidArgumentError("unknown filter");
+}
+
+}  // namespace apio::h5

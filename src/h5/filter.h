@@ -1,0 +1,45 @@
+// Chunk filter pipeline: optional compression applied to every chunk of
+// a chunked dataset before it reaches storage, mirroring HDF5's filter
+// pipeline (deflate & friends).  Two codecs are implemented from
+// scratch:
+//
+//   * kRle — byte-level run-length encoding; fast, effective on the
+//     zero-dominated fill regions of scientific checkpoints;
+//   * kLz — a greedy LZ77 variant with a 64 KiB window and hash-chain
+//     matching; general-purpose.
+//
+// Both are self-inverse through decode(encode(x)) for arbitrary input
+// and never fail to encode (incompressible data grows by a bounded
+// factor, as with deflate's stored blocks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apio::h5 {
+
+enum class FilterId : std::uint8_t {
+  kNone = 0,
+  kRle = 1,
+  kLz = 2,
+};
+
+std::string filter_name(FilterId id);
+FilterId filter_from_code(std::uint8_t code);
+
+/// Encodes `raw` with the chosen filter.  kNone copies.
+std::vector<std::byte> filter_encode(FilterId id, std::span<const std::byte> raw);
+
+/// Decodes a buffer produced by filter_encode.  `expected_size` is the
+/// raw chunk size from metadata; a mismatch or malformed stream throws
+/// FormatError.
+std::vector<std::byte> filter_decode(FilterId id, std::span<const std::byte> encoded,
+                                     std::size_t expected_size);
+
+/// Worst-case encoded size for `raw_size` input bytes (used to validate
+/// stored sizes from metadata before decoding).
+std::size_t filter_bound(FilterId id, std::size_t raw_size);
+
+}  // namespace apio::h5

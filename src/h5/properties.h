@@ -1,0 +1,45 @@
+// Property lists, mirroring HDF5's DCPL (dataset creation) and FAPL
+// (file access) in reduced form.
+#pragma once
+
+#include <cstdint>
+
+#include "h5/dataspace.h"
+#include "h5/filter.h"
+
+namespace apio::h5 {
+
+enum class Layout : std::uint8_t {
+  kContiguous = 0,  ///< one extent, allocated at creation
+  kChunked = 1,     ///< fixed-size chunks allocated on first write
+};
+
+/// Dataset creation properties.
+struct DatasetCreateProps {
+  Layout layout = Layout::kContiguous;
+  /// Required (non-empty, same rank as the dataspace) when chunked.
+  Dims chunk_dims;
+  /// Optional per-chunk compression (chunked layout only).  Filtered
+  /// chunks are read-modify-written whole, so concurrent writers to the
+  /// *same* chunk are serialised internally — as in parallel HDF5,
+  /// rank-disjoint chunks are the scalable pattern.
+  FilterId filter = FilterId::kNone;
+
+  static DatasetCreateProps contiguous() { return {}; }
+  static DatasetCreateProps chunked(Dims chunk, FilterId chunk_filter = FilterId::kNone) {
+    DatasetCreateProps p;
+    p.layout = Layout::kChunked;
+    p.chunk_dims = std::move(chunk);
+    p.filter = chunk_filter;
+    return p;
+  }
+};
+
+/// File creation/access properties.
+struct FileProps {
+  /// Alignment for raw-data allocations, bytes (power of two).  Large
+  /// alignments mimic PFS stripe-friendly allocation.
+  std::uint64_t allocation_alignment = 8;
+};
+
+}  // namespace apio::h5

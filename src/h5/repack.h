@@ -1,0 +1,53 @@
+// Object visiting and container repacking.
+//
+// The container's allocator never reclaims space: shadow-updated
+// metadata blocks and relocated filtered chunks leave dead extents
+// behind (exactly as HDF5 files grow until h5repack).  repack() walks
+// the source tree and rebuilds an equivalent container on a fresh
+// backend — compacting dead space and optionally re-filtering every
+// chunked dataset.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "h5/file.h"
+
+namespace apio::h5 {
+
+/// Visits every object in the file, parents before children.
+/// `path` is the full '/'-separated path ("" for the root group).
+struct ObjectVisitor {
+  std::function<void(const std::string& path, Group group)> on_group;
+  std::function<void(const std::string& path, Dataset dataset)> on_dataset;
+};
+
+void visit_objects(const FilePtr& file, const ObjectVisitor& visitor);
+
+/// Repack statistics.
+struct RepackResult {
+  std::uint64_t groups_copied = 0;
+  std::uint64_t datasets_copied = 0;
+  std::uint64_t attributes_copied = 0;
+  std::uint64_t bytes_copied = 0;  ///< logical dataset bytes moved
+  std::uint64_t source_size = 0;   ///< source end-of-file
+  std::uint64_t packed_size = 0;   ///< destination end-of-file
+};
+
+/// Options for repack().
+struct RepackOptions {
+  /// Override the chunk filter of every chunked dataset (e.g. compress
+  /// an uncompressed container); nullopt keeps each dataset's filter.
+  std::optional<FilterId> refilter;
+  /// Copy dataset contents in slabs of at most this many bytes.
+  std::uint64_t copy_buffer_bytes = 8ull << 20;
+};
+
+/// Copies everything in `source` into `destination` (a freshly created
+/// container).  Attributes, layouts and chunk shapes are preserved;
+/// the destination is flushed on completion.
+RepackResult repack(const FilePtr& source, const FilePtr& destination,
+                    RepackOptions options = {});
+
+}  // namespace apio::h5

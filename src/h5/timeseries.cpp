@@ -1,0 +1,79 @@
+#include "h5/timeseries.h"
+
+#include "common/error.h"
+
+namespace apio::h5 {
+namespace {
+
+constexpr const char* kFramesAttr = "apio:timeseries_frames";
+
+Dims series_dims(const Dims& frame_dims, std::uint64_t frames) {
+  Dims dims;
+  dims.reserve(frame_dims.size() + 1);
+  dims.push_back(frames);
+  dims.insert(dims.end(), frame_dims.begin(), frame_dims.end());
+  return dims;
+}
+
+}  // namespace
+
+TimeSeriesWriter::TimeSeriesWriter(Group parent, const std::string& name,
+                                   Datatype dtype, Dims frame_dims, FilterId filter,
+                                   std::uint64_t frames_per_chunk)
+    : frame_dims_(frame_dims) {
+  APIO_REQUIRE(frames_per_chunk >= 1, "frames_per_chunk must be >= 1");
+  frame_elements_ = num_elements(frame_dims_);
+  APIO_REQUIRE(frame_elements_ >= 1, "frames must hold at least one element");
+  Dims chunk = series_dims(frame_dims_, frames_per_chunk);
+  dataset_ = parent.create_dataset(name, dtype, series_dims(frame_dims_, 0),
+                                   DatasetCreateProps::chunked(std::move(chunk), filter));
+  dataset_.set_attribute<std::uint64_t>(kFramesAttr, 0);
+}
+
+TimeSeriesWriter::TimeSeriesWriter(Dataset dataset, Dims frame_dims,
+                                   std::uint64_t frames)
+    : dataset_(dataset), frame_dims_(std::move(frame_dims)), frames_(frames) {
+  frame_elements_ = num_elements(frame_dims_);
+}
+
+TimeSeriesWriter TimeSeriesWriter::open(Group parent, const std::string& name) {
+  Dataset dataset = parent.open_dataset(name);
+  APIO_REQUIRE(dataset.layout() == Layout::kChunked,
+               "'" + name + "' is not an extendable time series");
+  if (!dataset.has_attribute(kFramesAttr)) {
+    throw InvalidArgumentError("'" + name + "' was not created as a time series");
+  }
+  const std::uint64_t frames = dataset.attribute<std::uint64_t>(kFramesAttr);
+  const Dims& dims = dataset.dims();
+  APIO_REQUIRE(!dims.empty() && dims[0] == frames,
+               "time series extent is inconsistent with its frame counter");
+  Dims frame_dims(dims.begin() + 1, dims.end());
+  return TimeSeriesWriter(dataset, std::move(frame_dims), frames);
+}
+
+Selection TimeSeriesWriter::frame_selection(std::uint64_t index) const {
+  Dims start(frame_dims_.size() + 1, 0);
+  start[0] = index;
+  Dims count = series_dims(frame_dims_, 1);
+  return Selection::offsets(std::move(start), std::move(count));
+}
+
+std::uint64_t TimeSeriesWriter::append_raw(std::span<const std::byte> frame) {
+  APIO_REQUIRE(frame.size() == frame_bytes(),
+               "frame size mismatch: got " + std::to_string(frame.size()) +
+                   " bytes, frames hold " + std::to_string(frame_bytes()));
+  const std::uint64_t index = frames_;
+  dataset_.set_extent(series_dims(frame_dims_, frames_ + 1));
+  dataset_.write_raw(frame_selection(index), frame);
+  ++frames_;
+  dataset_.set_attribute<std::uint64_t>(kFramesAttr, frames_);
+  return index;
+}
+
+void TimeSeriesWriter::read_frame_raw(std::uint64_t index,
+                                      std::span<std::byte> out) const {
+  APIO_REQUIRE(index < frames_, "frame index out of range");
+  dataset_.read_raw(frame_selection(index), out);
+}
+
+}  // namespace apio::h5

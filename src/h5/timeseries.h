@@ -1,0 +1,60 @@
+// TimeSeriesWriter: append-oriented access for checkpoint streams.
+//
+// The paper's applications write one snapshot per I/O phase.  Rather
+// than creating a dataset per step (the VPIC-IO layout), a time series
+// stores frames along dimension 0 of one extendable chunked dataset —
+// the H5Dset_extent idiom.  The writer owns the bookkeeping: extent
+// growth, frame selection, and (optionally) per-frame attributes.
+#pragma once
+
+#include <string>
+
+#include "h5/file.h"
+
+namespace apio::h5 {
+
+class TimeSeriesWriter {
+ public:
+  /// Creates the extendable dataset `name` under `parent` with frames of
+  /// shape `frame_dims`.  Chunks hold `frames_per_chunk` whole frames.
+  TimeSeriesWriter(Group parent, const std::string& name, Datatype dtype,
+                   Dims frame_dims, FilterId filter = FilterId::kNone,
+                   std::uint64_t frames_per_chunk = 1);
+
+  /// Re-attaches to a series previously created by this class.
+  static TimeSeriesWriter open(Group parent, const std::string& name);
+
+  /// Appends one frame (packed frame_dims elements); returns its index.
+  std::uint64_t append_raw(std::span<const std::byte> frame);
+
+  template <typename T>
+  std::uint64_t append(std::span<const T> frame) {
+    return append_raw(std::as_bytes(frame));
+  }
+
+  /// Reads frame `index` back (packed).
+  void read_frame_raw(std::uint64_t index, std::span<std::byte> out) const;
+
+  template <typename T>
+  std::vector<T> read_frame(std::uint64_t index) const {
+    std::vector<T> out(frame_elements_);
+    read_frame_raw(index, std::as_writable_bytes(std::span<T>(out)));
+    return out;
+  }
+
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t frame_bytes() const { return frame_elements_ * dataset_.element_size(); }
+  Dataset dataset() const { return dataset_; }
+
+ private:
+  TimeSeriesWriter(Dataset dataset, Dims frame_dims, std::uint64_t frames);
+
+  Selection frame_selection(std::uint64_t index) const;
+
+  Dataset dataset_;
+  Dims frame_dims_;
+  std::uint64_t frame_elements_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace apio::h5

@@ -1,0 +1,106 @@
+// ModeAdvisor: the runtime feedback loop of Fig. 2.
+//
+// Plugged into a VOL connector as its IoObserver, the advisor converts
+// every observed transfer into a history sample, keeps per-mode rate
+// estimators fitted over that history, tracks the compute-phase
+// duration, and recommends — per upcoming I/O phase — whether the
+// epoch algebra (Eq. 2a vs. 2b) favours synchronous or asynchronous
+// I/O.  This is the "transparent and adaptive asynchronous I/O
+// interface" the paper motivates (Sec. II-B).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "model/epoch_model.h"
+#include "model/estimator.h"
+#include "model/history.h"
+#include "vol/observer.h"
+
+namespace apio::model {
+
+struct AdvisorOptions {
+  /// Minimum samples per mode before the estimator participates.
+  std::size_t min_samples = 3;
+  /// Weight of the newest compute-time observation.
+  double ewma_alpha = 0.5;
+  /// Starting feature form for the sync I/O fit; auto-selection picks
+  /// linear vs. linear-log by R² on each refit.
+  FeatureForm sync_form = FeatureForm::kLinearLog;
+  FeatureForm async_form = FeatureForm::kLinear;
+  bool auto_select_form = true;
+};
+
+class ModeAdvisor : public vol::IoObserver {
+ public:
+  explicit ModeAdvisor(AdvisorOptions options = {});
+
+  /// IoObserver hook: called by the connector on every transfer
+  /// (possibly from the background stream; thread-safe).
+  void on_io(const vol::IoRecord& record) override;
+
+  /// Reports the duration of a completed compute phase.
+  void record_compute(double seconds);
+
+  // -- Estimation (Sec. III-B) -------------------------------------------
+
+  bool sync_ready() const;
+  bool async_ready() const;
+  bool compute_ready() const;
+
+  /// Estimated blocking time for a sync transfer of `bytes` by `ranks`.
+  double estimate_io_seconds(std::uint64_t bytes, int ranks) const;
+
+  /// Estimated transactional overhead of staging `bytes` on `ranks`.
+  double estimate_transact_seconds(std::uint64_t bytes, int ranks) const;
+
+  double estimate_compute_seconds() const;
+
+  /// Full predicted epoch costs for an upcoming phase.
+  EpochCosts predict_epoch(std::uint64_t bytes, int ranks) const;
+
+  // -- Decision (Fig. 2 loop) --------------------------------------------
+
+  /// Recommended I/O mode for the next phase.  With incomplete history
+  /// the advisor explores: sync first (establishing the baseline), then
+  /// async, then exploits the fitted model.
+  IoMode recommend(std::uint64_t bytes, int ranks) const;
+
+  /// Overlap scenario (Fig. 1) predicted for the next phase.
+  OverlapScenario predict_scenario(std::uint64_t bytes, int ranks) const;
+
+  // -- Introspection -------------------------------------------------------
+
+  double sync_r_squared() const;
+  double async_r_squared() const;
+  const History& history() const { return history_; }
+  std::size_t compute_observations() const;
+
+  // -- Persistence ----------------------------------------------------------
+
+  /// Serialises the advisor's learned state (history + compute
+  /// estimate) so a later run starts warm — the paper's model
+  /// explicitly builds on "a history of previous runs".
+  std::string save_state() const;
+
+  /// Restores an advisor from save_state() output.
+  static std::shared_ptr<ModeAdvisor> load_state(const std::string& state,
+                                                 AdvisorOptions options = {});
+
+ private:
+  void refit_locked() const;
+
+  AdvisorOptions options_;
+  History history_;
+
+  mutable std::mutex mutex_;
+  mutable IoRateEstimator sync_estimator_;
+  mutable IoRateEstimator async_estimator_;
+  mutable bool dirty_ = false;
+  ComputeTimeEstimator compute_estimator_;
+  std::size_t compute_observations_ = 0;
+};
+
+using ModeAdvisorPtr = std::shared_ptr<ModeAdvisor>;
+
+}  // namespace apio::model

@@ -1,0 +1,61 @@
+#include "model/epoch_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace apio::model {
+
+std::string to_string(IoMode mode) {
+  return mode == IoMode::kSync ? "sync" : "async";
+}
+
+double sync_epoch_seconds(const EpochCosts& costs) {
+  return costs.t_io + costs.t_comp;
+}
+
+double async_epoch_seconds(const EpochCosts& costs) {
+  return std::max(costs.t_comp, costs.t_io - costs.t_comp) + costs.t_transact;
+}
+
+double epoch_seconds(const EpochCosts& costs, IoMode mode) {
+  return mode == IoMode::kSync ? sync_epoch_seconds(costs)
+                               : async_epoch_seconds(costs);
+}
+
+double async_speedup(const EpochCosts& costs) {
+  const double async = async_epoch_seconds(costs);
+  APIO_REQUIRE(async > 0.0, "async epoch time must be positive");
+  return sync_epoch_seconds(costs) / async;
+}
+
+std::string to_string(OverlapScenario scenario) {
+  switch (scenario) {
+    case OverlapScenario::kIdeal: return "ideal";
+    case OverlapScenario::kPartial: return "partial";
+    case OverlapScenario::kSlowdown: return "slowdown";
+  }
+  return "?";
+}
+
+OverlapScenario classify_overlap(const EpochCosts& costs) {
+  if (!async_is_beneficial(costs)) return OverlapScenario::kSlowdown;
+  if (costs.t_comp >= costs.t_io) return OverlapScenario::kIdeal;
+  return OverlapScenario::kPartial;
+}
+
+bool async_is_beneficial(const EpochCosts& costs) {
+  return async_epoch_seconds(costs) < sync_epoch_seconds(costs);
+}
+
+double app_seconds(const AppSchedule& schedule, IoMode mode) {
+  APIO_REQUIRE(schedule.iterations >= 0, "iterations must be >= 0");
+  // Eq. 1 sums uniform epochs; the terminal queue drain of the real
+  // async connector is not part of the paper's model and is accounted
+  // for by the simulator (sim::EpochSimulator) instead.
+  double total = schedule.t_init + schedule.t_term;
+  total += schedule.iterations * epoch_seconds(schedule.epoch, mode);
+  return total;
+}
+
+}  // namespace apio::model

@@ -1,0 +1,70 @@
+// The iterative-application I/O performance model of Sec. III-A.
+//
+//   t_app          = t_init + Σ t_epoch + t_term                   (Eq. 1)
+//   t_sync_epoch   = t_io + t_comp                                 (Eq. 2a)
+//   t_async_epoch  = max(t_comp, t_io − t_comp) + t_transact       (Eq. 2b)
+//
+// Eq. 2b assumes the I/O of iteration i overlaps the computation of
+// iteration i+1: if computation is longer the epoch is compute-bound
+// (ideal scenario, Fig. 1a); otherwise the un-overlapped remainder of
+// the I/O is paid (partial overlap, Fig. 1b).  The staging copy
+// t_transact is always paid, which makes async a slowdown whenever the
+// achievable overlap cannot amortise it (Fig. 1c).
+#pragma once
+
+#include <string>
+
+namespace apio::model {
+
+/// Per-epoch cost inputs (seconds).
+struct EpochCosts {
+  double t_comp = 0.0;      ///< computation phase (incl. communication)
+  double t_io = 0.0;        ///< blocking time of the full I/O transfer
+  double t_transact = 0.0;  ///< staging-copy (transactional) overhead
+};
+
+/// I/O execution mode.
+enum class IoMode { kSync, kAsync };
+
+std::string to_string(IoMode mode);
+
+/// Eq. 2a.
+double sync_epoch_seconds(const EpochCosts& costs);
+
+/// Eq. 2b.
+double async_epoch_seconds(const EpochCosts& costs);
+
+/// Epoch duration under `mode`.
+double epoch_seconds(const EpochCosts& costs, IoMode mode);
+
+/// Speedup of async over sync for one epoch (> 1 means async wins).
+double async_speedup(const EpochCosts& costs);
+
+/// The three timeline scenarios of Fig. 1.
+enum class OverlapScenario {
+  kIdeal,     ///< t_comp >= t_io: I/O fully hidden (Fig. 1a)
+  kPartial,   ///< partially hidden, still a net win (Fig. 1b)
+  kSlowdown,  ///< overhead exceeds the achievable overlap (Fig. 1c)
+};
+
+std::string to_string(OverlapScenario scenario);
+
+OverlapScenario classify_overlap(const EpochCosts& costs);
+
+/// True when Eq. 2b < Eq. 2a: asynchronous I/O shortens the epoch.
+bool async_is_beneficial(const EpochCosts& costs);
+
+/// Whole-application schedule (Eq. 1) with uniform epochs.
+struct AppSchedule {
+  double t_init = 0.0;
+  double t_term = 0.0;
+  int iterations = 0;
+  EpochCosts epoch;
+};
+
+/// Eq. 1 under `mode`.  Async additionally pays the trailing
+/// un-overlapped I/O of the final iteration (there is no following
+/// computation to hide it behind), which close()/wait_all() exposes.
+double app_seconds(const AppSchedule& schedule, IoMode mode);
+
+}  // namespace apio::model

@@ -1,0 +1,81 @@
+#include "model/estimator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace apio::model {
+
+IoRateEstimator::IoRateEstimator(FeatureForm form, std::size_t min_samples)
+    : form_(form), min_samples_(std::max<std::size_t>(min_samples, 3)) {}
+
+std::optional<LinearFit> IoRateEstimator::try_fit(
+    FeatureForm form, const std::vector<IoSample>& samples) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  rows.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    rows.push_back(make_features(form, static_cast<double>(s.data_size),
+                                 static_cast<double>(s.ranks)));
+    y.push_back(s.io_rate);
+  }
+  try {
+    return fit_least_squares(rows, y);
+  } catch (const InvalidArgumentError&) {
+    return std::nullopt;  // collinear / under-determined; keep old fit
+  }
+}
+
+void IoRateEstimator::refit(const std::vector<IoSample>& samples) {
+  if (samples.size() < min_samples_) return;
+
+  std::optional<LinearFit> best = try_fit(form_, samples);
+  FeatureForm best_form = form_;
+  if (auto_form_) {
+    const FeatureForm other = form_ == FeatureForm::kLinear
+                                  ? FeatureForm::kLinearLog
+                                  : FeatureForm::kLinear;
+    auto alt = try_fit(other, samples);
+    if (alt && (!best || alt->r_squared > best->r_squared)) {
+      best = alt;
+      best_form = other;
+    }
+  }
+  if (!best) return;
+
+  fit_ = *best;
+  form_ = best_form;
+  min_rate_seen_ = samples.front().io_rate;
+  max_rate_seen_ = samples.front().io_rate;
+  for (const auto& s : samples) {
+    min_rate_seen_ = std::min(min_rate_seen_, s.io_rate);
+    max_rate_seen_ = std::max(max_rate_seen_, s.io_rate);
+  }
+}
+
+double IoRateEstimator::estimate_rate(std::uint64_t data_size, int ranks) const {
+  APIO_REQUIRE(ready(), "estimate_rate() before a successful refit()");
+  const auto features = make_features(form_, static_cast<double>(data_size),
+                                      static_cast<double>(ranks));
+  const double raw = predict(fit_, features);
+  // Clamp into a (generously) widened observation envelope: regression
+  // extrapolation must never return a non-positive or absurd rate, but
+  // legitimate weak-scaling forecasts reach far beyond the trained
+  // range (async rates grow linearly with node count), so the ceiling
+  // is deliberately loose.
+  const double lo = 0.05 * min_rate_seen_;
+  const double hi = 1000.0 * max_rate_seen_;
+  return std::clamp(raw, lo, hi);
+}
+
+double IoRateEstimator::estimate_seconds(std::uint64_t data_size, int ranks) const {
+  return static_cast<double>(data_size) / estimate_rate(data_size, ranks);
+}
+
+double ComputeTimeEstimator::estimate_seconds() const {
+  APIO_REQUIRE(ready(), "compute-time estimate before any observation");
+  return ewma_.value();
+}
+
+}  // namespace apio::model

@@ -1,0 +1,74 @@
+// Cost estimators of Sec. III-B: the I/O-rate regression (Eq. 3/4) and
+// the weighted-average compute-time estimator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "model/history.h"
+#include "model/regression.h"
+
+namespace apio::model {
+
+/// Fits the aggregate I/O rate as a function of (data size, ranks) and
+/// answers rate / time queries for hypothetical transfers.  One
+/// estimator instance covers one population (e.g. sync writes or async
+/// staging copies).
+class IoRateEstimator {
+ public:
+  explicit IoRateEstimator(FeatureForm form = FeatureForm::kLinear,
+                           std::size_t min_samples = 3);
+
+  /// Refits over `samples`; keeps the previous fit when there are fewer
+  /// than min_samples points or the system is singular.
+  void refit(const std::vector<IoSample>& samples);
+
+  /// When enabled, refit() tries both linear and linear-log forms and
+  /// keeps the one with the higher R² (the paper picks linear-log for
+  /// the sync write trend by inspection; this automates the choice).
+  void set_auto_form(bool enabled) { auto_form_ = enabled; }
+
+  bool ready() const { return fit_.valid(); }
+
+  /// Estimated aggregate rate (bytes/s), clamped into the observed
+  /// envelope so extrapolation cannot produce nonsense (<= 0).
+  double estimate_rate(std::uint64_t data_size, int ranks) const;
+
+  /// Eq. 3: t_io = data_size / f_io_rate.
+  double estimate_seconds(std::uint64_t data_size, int ranks) const;
+
+  double r_squared() const { return fit_.r_squared; }
+  FeatureForm form() const { return form_; }
+  const LinearFit& fit() const { return fit_; }
+  std::size_t samples_fitted() const { return fit_.n; }
+
+ private:
+  FeatureForm form_;
+  std::size_t min_samples_;
+  bool auto_form_ = false;
+  LinearFit fit_;
+  double min_rate_seen_ = 0.0;
+  double max_rate_seen_ = 0.0;
+
+  static std::optional<LinearFit> try_fit(FeatureForm form,
+                                          const std::vector<IoSample>& samples);
+};
+
+/// Compute-phase duration estimator: a weighted average over previous
+/// iterations (Sec. III-B: "we use a weighted average over the
+/// measurements taken in previous iterations").
+class ComputeTimeEstimator {
+ public:
+  explicit ComputeTimeEstimator(double ewma_alpha = 0.5) : ewma_(ewma_alpha) {}
+
+  void add_observation(double seconds) { ewma_.add(seconds); }
+  bool ready() const { return !ewma_.empty(); }
+  double estimate_seconds() const;
+
+ private:
+  Ewma ewma_;
+};
+
+}  // namespace apio::model

@@ -1,0 +1,93 @@
+#include "model/history.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace apio::model {
+
+History::History(History&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  samples_ = std::move(other.samples_);
+}
+
+History& History::operator=(History&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mutex_, other.mutex_);
+    samples_ = std::move(other.samples_);
+  }
+  return *this;
+}
+
+void History::add(const IoSample& sample) {
+  APIO_REQUIRE(sample.data_size > 0, "history samples need a positive data size");
+  APIO_REQUIRE(sample.ranks >= 1, "history samples need >= 1 rank");
+  APIO_REQUIRE(sample.io_rate > 0.0, "history samples need a positive rate");
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(sample);
+}
+
+std::size_t History::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+void History::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+std::vector<IoSample> History::select(bool async, vol::IoOp op) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<IoSample> out;
+  for (const auto& s : samples_) {
+    if (s.async == async && s.op == op) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<IoSample> History::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::string History::to_csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "data_size,ranks,io_rate,async,op\n";
+  for (const auto& s : samples_) {
+    os << s.data_size << ',' << s.ranks << ',' << s.io_rate << ','
+       << (s.async ? 1 : 0) << ',' << (s.op == vol::IoOp::kWrite ? 'w' : 'r') << '\n';
+  }
+  return os.str();
+}
+
+History History::from_csv(const std::string& csv) {
+  History history;
+  std::istringstream is(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("data_size", 0) == 0) continue;  // header
+    }
+    IoSample s;
+    char comma = 0;
+    char op = 0;
+    int async_flag = 0;
+    std::istringstream row(line);
+    row >> s.data_size >> comma >> s.ranks >> comma >> s.io_rate >> comma >>
+        async_flag >> comma >> op;
+    if (row.fail() || (op != 'w' && op != 'r')) {
+      throw FormatError("malformed history CSV row: '" + line + "'");
+    }
+    s.async = async_flag != 0;
+    s.op = op == 'w' ? vol::IoOp::kWrite : vol::IoOp::kRead;
+    history.add(s);
+  }
+  return history;
+}
+
+}  // namespace apio::model

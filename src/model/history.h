@@ -1,0 +1,57 @@
+// Measurement history: the record of past data transfers that the
+// empirical model regresses over (Sec. III-B, Fig. 2).  For each I/O
+// request the connector reports data size, participating ranks and the
+// observed aggregate rate; sync and async observations are kept apart
+// because they estimate different quantities (PFS rate vs. staging-copy
+// rate).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vol/observer.h"
+
+namespace apio::model {
+
+/// One remembered data transfer.
+struct IoSample {
+  std::uint64_t data_size = 0;  ///< aggregate bytes of the phase
+  int ranks = 1;
+  double io_rate = 0.0;  ///< aggregate bytes/s achieved
+  bool async = false;
+  vol::IoOp op = vol::IoOp::kWrite;
+};
+
+/// Thread-safe append-only sample store with filtered views.
+class History {
+ public:
+  History() = default;
+  History(History&& other) noexcept;
+  History& operator=(History&& other) noexcept;
+
+  void add(const IoSample& sample);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Samples matching mode/op (async + write, sync + read, ...).
+  std::vector<IoSample> select(bool async, vol::IoOp op) const;
+
+  /// All samples, oldest first.
+  std::vector<IoSample> all() const;
+
+  /// Serialises to CSV ("data_size,ranks,io_rate,async,op").
+  std::string to_csv() const;
+
+  /// Parses the CSV form; throws FormatError on malformed rows.
+  static History from_csv(const std::string& csv);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<IoSample> samples_;
+};
+
+}  // namespace apio::model

@@ -1,0 +1,68 @@
+#include "model/validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace apio::model {
+
+CrossValidationResult k_fold_cross_validation(const std::vector<IoSample>& samples,
+                                              FeatureForm form, int k,
+                                              std::uint64_t seed) {
+  APIO_REQUIRE(k >= 2, "cross-validation needs k >= 2");
+  APIO_REQUIRE(samples.size() >= static_cast<std::size_t>(k),
+               "need at least k samples for k folds");
+
+  // Deterministic Fisher-Yates shuffle.
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  CrossValidationResult result;
+  double error_sum = 0.0;
+  for (int fold = 0; fold < k; ++fold) {
+    std::vector<std::vector<double>> train_rows;
+    std::vector<double> train_y;
+    std::vector<const IoSample*> held_out;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const IoSample& s = samples[order[i]];
+      if (static_cast<int>(i % static_cast<std::size_t>(k)) == fold) {
+        held_out.push_back(&s);
+      } else {
+        train_rows.push_back(make_features(form, static_cast<double>(s.data_size),
+                                           static_cast<double>(s.ranks)));
+        train_y.push_back(s.io_rate);
+      }
+    }
+    if (held_out.empty() || train_rows.size() < train_rows.front().size()) continue;
+
+    LinearFit fit;
+    try {
+      fit = fit_least_squares(train_rows, train_y);
+    } catch (const InvalidArgumentError&) {
+      continue;  // degenerate training split
+    }
+    double fold_error = 0.0;
+    for (const IoSample* s : held_out) {
+      const auto features = make_features(form, static_cast<double>(s->data_size),
+                                          static_cast<double>(s->ranks));
+      const double predicted = predict(fit, features);
+      const double rel = std::fabs(predicted - s->io_rate) / s->io_rate;
+      fold_error += rel;
+      result.worst_abs_rel_error = std::max(result.worst_abs_rel_error, rel);
+    }
+    error_sum += fold_error / static_cast<double>(held_out.size());
+    ++result.folds_evaluated;
+  }
+  APIO_REQUIRE(result.folds_evaluated > 0,
+               "no cross-validation fold could be evaluated");
+  result.mean_abs_rel_error = error_sum / static_cast<double>(result.folds_evaluated);
+  return result;
+}
+
+}  // namespace apio::model

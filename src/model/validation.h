@@ -1,0 +1,34 @@
+// Model validation utilities: k-fold cross-validation of the I/O-rate
+// regression.  R² measures in-sample fit; cross-validation measures
+// what the advisor actually needs — predictive accuracy on transfers it
+// has not seen (the "estimating the effectiveness ... on future
+// iterations based on performance observed in previous iterations"
+// objective of Sec. III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/history.h"
+#include "model/regression.h"
+
+namespace apio::model {
+
+struct CrossValidationResult {
+  /// Mean over folds of the mean |predicted − actual| / actual.
+  double mean_abs_rel_error = 0.0;
+  /// Worst single-sample relative error across all folds.
+  double worst_abs_rel_error = 0.0;
+  std::size_t folds_evaluated = 0;
+};
+
+/// k-fold cross-validation of a rate fit with feature form `form`.
+/// Samples are shuffled deterministically by `seed`.  Folds whose
+/// training split is degenerate (fewer samples than features, or
+/// singular beyond regularisation) are skipped; throws when no fold
+/// could be evaluated.
+CrossValidationResult k_fold_cross_validation(const std::vector<IoSample>& samples,
+                                              FeatureForm form, int k,
+                                              std::uint64_t seed = 1234);
+
+}  // namespace apio::model

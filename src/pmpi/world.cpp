@@ -1,0 +1,197 @@
+#include "pmpi/world.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace apio::pmpi {
+
+World::World(int size) : size_(size) {
+  APIO_REQUIRE(size >= 1, "World size must be >= 1");
+  coll_slots_.resize(static_cast<std::size_t>(size));
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Communicator World::comm(int rank) {
+  APIO_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
+  return Communicator(this, rank);
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == size_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+  }
+}
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::barrier() { world_->barrier(); }
+
+void Communicator::bcast_bytes(std::span<std::byte> buffer, int root) {
+  APIO_REQUIRE(root >= 0 && root < size(), "bcast root out of range");
+  if (rank_ == root) {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->bcast_view_ = buffer;
+  }
+  world_->barrier();  // publish root's view
+  if (rank_ != root) {
+    std::span<const std::byte> src;
+    {
+      std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+      src = world_->bcast_view_;
+    }
+    APIO_REQUIRE(src.size() == buffer.size(), "bcast buffer size mismatch across ranks");
+    std::memcpy(buffer.data(), src.data(), buffer.size());
+  }
+  world_->barrier();  // all copies done before root may reuse its buffer
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgather_bytes(
+    std::span<const std::byte> mine) {
+  {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    world_->coll_slots_[rank_].assign(mine.begin(), mine.end());
+  }
+  world_->barrier();  // all deposits visible
+  std::vector<std::vector<std::byte>> out;
+  {
+    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    out = world_->coll_slots_;
+  }
+  world_->barrier();  // all copies done before slots may be overwritten
+  return out;
+}
+
+double Communicator::allreduce_sum(double value) {
+  return allreduce<double>(value, [](const double& a, const double& b) { return a + b; });
+}
+
+double Communicator::allreduce_max(double value) {
+  return allreduce<double>(value, [](const double& a, const double& b) { return a > b ? a : b; });
+}
+
+double Communicator::allreduce_min(double value) {
+  return allreduce<double>(value, [](const double& a, const double& b) { return a < b ? a : b; });
+}
+
+std::uint64_t Communicator::allreduce_sum(std::uint64_t value) {
+  return allreduce<std::uint64_t>(
+      value, [](const std::uint64_t& a, const std::uint64_t& b) { return a + b; });
+}
+
+std::uint64_t Communicator::allreduce_max(std::uint64_t value) {
+  return allreduce<std::uint64_t>(
+      value, [](const std::uint64_t& a, const std::uint64_t& b) { return a > b ? a : b; });
+}
+
+std::uint64_t Communicator::exscan_sum(std::uint64_t value) {
+  auto all = allgather(value);
+  std::uint64_t acc = 0;
+  for (int r = 0; r < rank_; ++r) acc += all[r];
+  return acc;
+}
+
+void Communicator::send_bytes(std::span<const std::byte> data, int dest, int tag) {
+  APIO_REQUIRE(dest >= 0 && dest < size(), "send dest out of range");
+  auto& box = *world_->mailboxes_[dest];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{rank_, tag}].emplace_back(data.begin(), data.end());
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
+  APIO_REQUIRE(source >= 0 && source < size(), "recv source out of range");
+  auto& box = *world_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::make_pair(source, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& queue = box.queues[key];
+  std::vector<std::byte> msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+bool Communicator::iprobe(int source, int tag) const {
+  APIO_REQUIRE(source >= 0 && source < size(), "iprobe source out of range");
+  auto& box = *world_->mailboxes_[rank_];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  auto it = box.queues.find({source, tag});
+  return it != box.queues.end() && !it->second.empty();
+}
+
+Communicator Communicator::split(int color, int key) {
+  // Collect (color, key) of every rank; group and order deterministically.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  auto entries = allgather(Entry{color, key, rank_});
+  std::vector<Entry> group;
+  for (const auto& e : entries) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+  int new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i].rank == rank_) new_rank = static_cast<int>(i);
+  }
+  APIO_ASSERT(new_rank >= 0, "split(): calling rank missing from its group");
+
+  // Rendezvous: the first arriver of each colour creates the sub-world.
+  std::shared_ptr<World> sub;
+  {
+    std::lock_guard<std::mutex> lock(world_->split_mutex_);
+    auto& slot = world_->split_worlds_[color];
+    if (!slot) slot = std::make_shared<World>(static_cast<int>(group.size()));
+    sub = slot;
+  }
+  world_->barrier();  // every rank holds its sub-world
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lock(world_->split_mutex_);
+    world_->split_worlds_.clear();  // ready for the next split() round
+  }
+  world_->barrier();
+  return Communicator(std::move(sub), new_rank);
+}
+
+void run(int size, const std::function<void(Communicator&)>& body) {
+  World world(size);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &body, &error_mutex, &first_error, r] {
+      Communicator comm = world.comm(r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace apio::pmpi

@@ -1,0 +1,210 @@
+// pmpi: an in-process message-passing subset with MPI semantics.
+//
+// The paper's experiments run MPI programs (6 ranks/node on Summit, 32
+// on Cori).  This repository has no MPI launcher, so pmpi provides the
+// same programming model over std::thread ranks inside one process:
+// SPMD bodies, a communicator per rank, barrier/bcast/reduce/gather
+// collectives and matched point-to-point send/recv.  Collective
+// semantics follow MPI: every rank of the communicator must call the
+// collective, in the same order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace apio::pmpi {
+
+class Communicator;
+
+/// Shared state backing one communicator group.  Create one World per
+/// SPMD region; obtain per-rank Communicators from it.  Prefer run()
+/// below, which owns the thread spawn/join.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// Returns the communicator handle for `rank` (0 <= rank < size()).
+  Communicator comm(int rank);
+
+ private:
+  friend class Communicator;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // keyed by (source rank, tag)
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+  };
+
+  int size_;
+
+  // Sense-reversing central barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Collective exchange area: one slot per rank, plus the root's bcast view.
+  std::mutex coll_mutex_;
+  std::vector<std::vector<std::byte>> coll_slots_;
+  std::span<const std::byte> bcast_view_;
+
+  // split() rendezvous: color -> sub-world under construction.
+  std::mutex split_mutex_;
+  std::map<int, std::shared_ptr<World>> split_worlds_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  void barrier();
+};
+
+/// Per-rank handle to a World.  Cheap to copy.
+class Communicator {
+ public:
+  Communicator() = default;
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocks until every rank has entered the barrier.
+  void barrier();
+
+  /// Broadcasts root's buffer into every rank's buffer.  All buffers
+  /// must have identical byte size.
+  void bcast_bytes(std::span<std::byte> buffer, int root);
+
+  template <typename T>
+  void bcast(std::span<T> buffer, int root) {
+    bcast_bytes(std::as_writable_bytes(buffer), root);
+  }
+
+  /// All-gathers one value per rank; result is indexed by rank.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    auto raw = allgather_bytes(std::as_bytes(std::span<const T>(&value, 1)));
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      std::memcpy(&out[r], raw[r].data(), sizeof(T));
+    }
+    return out;
+  }
+
+  /// Gathers one value per rank at `root`; non-roots receive an empty
+  /// vector.  (Implemented over allgather for simplicity.)
+  template <typename T>
+  std::vector<T> gather(const T& value, int root) {
+    auto all = allgather(value);
+    if (rank() != root) return {};
+    return all;
+  }
+
+  /// MPI_Allreduce with a caller-provided combiner.
+  template <typename T>
+  T allreduce(const T& value, const std::function<T(const T&, const T&)>& op) {
+    auto all = allgather(value);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  double allreduce_min(double value);
+  std::uint64_t allreduce_sum(std::uint64_t value);
+  std::uint64_t allreduce_max(std::uint64_t value);
+
+  /// Exclusive prefix sum over ranks (MPI_Exscan); rank 0 receives 0.
+  std::uint64_t exscan_sum(std::uint64_t value);
+
+  /// Blocking matched send/recv.  Message order between a fixed
+  /// (source, dest, tag) triple is FIFO.  Sends are buffered and never
+  /// block (MPI_Bsend semantics), so self-sends are safe.
+  void send_bytes(std::span<const std::byte> data, int dest, int tag);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+
+  /// Non-blocking probe (MPI_Iprobe): true when a matching message is
+  /// already waiting, i.e. the next recv(source, tag) will not block.
+  bool iprobe(int source, int tag) const;
+
+  /// MPI_Scatter: root holds one chunk per rank (all the same length);
+  /// every rank receives its chunk.  Pass empty on non-roots.
+  template <typename T>
+  std::vector<T> scatter(const std::vector<std::vector<T>>& chunks, int root) {
+    if (rank() == root) {
+      for (int r = 0; r < size(); ++r) {
+        send<T>(chunks[static_cast<std::size_t>(r)], r, kInternalTagScatter);
+      }
+    }
+    return recv<T>(root, kInternalTagScatter);
+  }
+
+  /// MPI_Alltoall (variable-length): outgoing[j] goes to rank j; the
+  /// result's element [j] came from rank j.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& outgoing) {
+    for (int r = 0; r < size(); ++r) {
+      send<T>(outgoing[static_cast<std::size_t>(r)], r, kInternalTagAlltoall);
+    }
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      incoming[static_cast<std::size_t>(r)] = recv<T>(r, kInternalTagAlltoall);
+    }
+    return incoming;
+  }
+
+  /// MPI_Comm_split: collective.  Ranks with the same `color` form a
+  /// new communicator, ordered by (key, old rank).  The returned
+  /// communicator owns its world's lifetime (safe to outlive the call
+  /// site while the parent world is alive).
+  Communicator split(int color, int key);
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    send_bytes(std::as_bytes(data), dest, tag);
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    auto raw = recv_bytes(source, tag);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+    return out;
+  }
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+  Communicator(std::shared_ptr<World> owned, int rank)
+      : world_(owned.get()), rank_(rank), owned_world_(std::move(owned)) {}
+
+  std::vector<std::vector<std::byte>> allgather_bytes(std::span<const std::byte> mine);
+
+  /// Reserved tag space for internal collectives; user tags >= 0 never
+  /// collide with these.
+  static constexpr int kInternalTagScatter = -1000001;
+  static constexpr int kInternalTagAlltoall = -1000002;
+
+  World* world_ = nullptr;
+  int rank_ = -1;
+  /// Set for communicators produced by split(): keeps the sub-world
+  /// alive for as long as any of its communicators.
+  std::shared_ptr<World> owned_world_;
+};
+
+/// Runs `body` as an SPMD region over `size` ranks, one std::thread per
+/// rank, and joins them.  The first exception thrown by any rank is
+/// rethrown on the caller after all ranks have been joined.
+void run(int size, const std::function<void(Communicator&)>& body);
+
+}  // namespace apio::pmpi

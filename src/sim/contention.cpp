@@ -1,0 +1,26 @@
+#include "sim/contention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace apio::sim {
+
+ContentionModel::ContentionModel(double sigma, double floor)
+    : sigma_(sigma), floor_(floor) {
+  APIO_REQUIRE(sigma >= 0.0, "contention sigma must be >= 0");
+  APIO_REQUIRE(floor > 0.0 && floor <= 1.0, "contention floor must be in (0,1]");
+}
+
+double ContentionModel::sample_run_factor(Rng& rng) const {
+  if (sigma_ == 0.0) return 1.0;
+  // |N(0, sigma)| pushed through exp(-x): factor 1 at zero interference,
+  // decaying with the (half-normal) interference level.
+  const double interference = std::fabs(rng.normal(0.0, sigma_));
+  return std::clamp(std::exp(-interference), floor_, 1.0);
+}
+
+ContentionModel ContentionModel::none() { return ContentionModel(0.0, 1.0); }
+
+}  // namespace apio::sim

@@ -1,0 +1,35 @@
+// Full-system contention model (Sec. V-C / Fig. 8).
+//
+// The shared PFS and interconnect are used by every job on the
+// machine, so the bandwidth a run observes varies across runs and
+// days.  We model the per-run effect as a multiplicative factor in
+// (0, 1] drawn from a truncated log-normal: most runs see mild
+// interference, a tail of runs sees heavy interference.  Node-local
+// staging copies (the async path's blocking component) are unaffected,
+// which is exactly why the paper finds async I/O hides variability.
+#pragma once
+
+#include "common/rng.h"
+
+namespace apio::sim {
+
+class ContentionModel {
+ public:
+  /// `sigma` controls spread (0 = no contention, ~0.4 = busy machine);
+  /// `floor` bounds the worst case factor.
+  explicit ContentionModel(double sigma = 0.30, double floor = 0.15);
+
+  /// Factor for one run; deterministic in `rng`'s state.
+  double sample_run_factor(Rng& rng) const;
+
+  double sigma() const { return sigma_; }
+
+  /// An unloaded machine (factor always 1).
+  static ContentionModel none();
+
+ private:
+  double sigma_;
+  double floor_;
+};
+
+}  // namespace apio::sim

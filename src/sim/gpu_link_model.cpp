@@ -1,0 +1,47 @@
+#include "sim/gpu_link_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace apio::sim {
+
+GpuLinkModel::GpuLinkModel(double peak_bandwidth, double pageable_bandwidth,
+                           double half_size, double dma_setup_latency)
+    : peak_(peak_bandwidth),
+      pageable_(pageable_bandwidth),
+      half_size_(half_size),
+      latency_(dma_setup_latency) {
+  APIO_REQUIRE(peak_ > 0 && pageable_ > 0, "link bandwidths must be positive");
+  APIO_REQUIRE(pageable_ <= peak_, "pageable bandwidth cannot exceed the link peak");
+}
+
+double GpuLinkModel::transfer_seconds(std::uint64_t bytes, bool pinned) const {
+  const double ceiling = pinned ? peak_ : pageable_;
+  const double s = static_cast<double>(bytes);
+  const double eff = s / (s + half_size_);
+  // Pageable transfers additionally pay the runtime's bounce-buffer
+  // copy, modelled as a second latency term.
+  const double setup = pinned ? latency_ : 2.0 * latency_;
+  return setup + s / (ceiling * eff);
+}
+
+double GpuLinkModel::achieved_bandwidth(std::uint64_t bytes, bool pinned) const {
+  APIO_REQUIRE(bytes > 0, "achieved_bandwidth of an empty transfer");
+  return static_cast<double>(bytes) / transfer_seconds(bytes, pinned);
+}
+
+GpuLinkModel GpuLinkModel::nvlink2() {
+  // 50 GB/s theoretical; pinned copies approach it, pageable copies
+  // bottleneck on the host-side staging at ~18 GB/s.  The ~1 MiB knee
+  // and 15 us DMA setup amortise above ~10 MB, matching the paper's
+  // micro-benchmark observation.
+  return GpuLinkModel(50.0 * kGB, 18.0 * kGB, 1.0 * static_cast<double>(kMiB), 15e-6);
+}
+
+GpuLinkModel GpuLinkModel::pcie3() {
+  return GpuLinkModel(15.75 * kGB, 6.0 * kGB, 1.0 * static_cast<double>(kMiB), 20e-6);
+}
+
+}  // namespace apio::sim

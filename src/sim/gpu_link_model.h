@@ -1,0 +1,45 @@
+// CPU<->GPU transfer-cost model (Sec. III-B1).
+//
+// The paper's GPU-resident applications pay a blocking device-to-host
+// copy as part of the transactional overhead.  The cost model captures
+// the two regimes the authors measured with micro-benchmarks: DMA
+// setup dominates small transfers (amortised above ~10 MB), and pinned
+// host memory reaches close to the link's theoretical peak while
+// pageable memory pays an extra bounce-buffer copy.
+#pragma once
+
+#include <cstdint>
+
+namespace apio::sim {
+
+class GpuLinkModel {
+ public:
+  /// `peak_bandwidth` — link limit (bytes/s); `pageable_bandwidth` —
+  /// effective ceiling when the runtime must bounce through a pinned
+  /// staging buffer; `half_size` — transfer size at 50 % efficiency;
+  /// `dma_setup_latency` — per-transfer setup cost (seconds).
+  GpuLinkModel(double peak_bandwidth, double pageable_bandwidth,
+               double half_size, double dma_setup_latency);
+
+  /// Seconds for one blocking transfer of `bytes`.
+  double transfer_seconds(std::uint64_t bytes, bool pinned) const;
+
+  /// Achieved bandwidth (bytes/s) for a transfer of `bytes`.
+  double achieved_bandwidth(std::uint64_t bytes, bool pinned) const;
+
+  double peak_bandwidth() const { return peak_; }
+
+  /// Summit: NVLink 2.0, 50 GB/s theoretical per direction.
+  static GpuLinkModel nvlink2();
+
+  /// Generic PCIe 3.0 x16: 15.75 GB/s theoretical.
+  static GpuLinkModel pcie3();
+
+ private:
+  double peak_;
+  double pageable_;
+  double half_size_;
+  double latency_;
+};
+
+}  // namespace apio::sim

@@ -1,0 +1,42 @@
+#include "sim/system_spec.h"
+
+namespace apio::sim {
+
+SystemSpec SystemSpec::summit() {
+  SystemSpec spec{
+      .name = "summit",
+      .ranks_per_node = 6,
+      .max_nodes = 4608,
+      .pfs = storage::PfsModel::summit_gpfs(),
+      .staging = storage::MemcpyModel::summit_dram(),
+      .gpu_link = GpuLinkModel::nvlink2(),
+      .has_gpus = true,
+      .contention = ContentionModel(0.30, 0.15),
+      // 1.6 TB NVMe per node, ~2.1 GB/s sustained writes.
+      .ssd_node_bandwidth = 2.1e9,
+      .bb_aggregate_bandwidth = 0.0,
+      .bb_node_bandwidth = 0.0,
+  };
+  return spec;
+}
+
+SystemSpec SystemSpec::cori_haswell() {
+  SystemSpec spec{
+      .name = "cori-haswell",
+      .ranks_per_node = 32,
+      .max_nodes = 2388,
+      .pfs = storage::PfsModel::cori_lustre(72),
+      .staging = storage::MemcpyModel::cori_dram(),
+      .gpu_link = GpuLinkModel::pcie3(),
+      .has_gpus = false,
+      .contention = ContentionModel(0.25, 0.20),
+      // Cori-Haswell nodes are diskless; the Cray DataWarp burst buffer
+      // offers 1.7 TB/s aggregate (Sec. IV-A) at ~5 GB/s per node.
+      .ssd_node_bandwidth = 0.0,
+      .bb_aggregate_bandwidth = 1.7e12,
+      .bb_node_bandwidth = 5.0e9,
+  };
+  return spec;
+}
+
+}  // namespace apio::sim

@@ -1,0 +1,56 @@
+// Virtual HPC system specifications: the two machines of Sec. IV-A.
+#pragma once
+
+#include <string>
+
+#include "sim/contention.h"
+#include "sim/gpu_link_model.h"
+#include "storage/pfs_model.h"
+
+namespace apio::sim {
+
+/// Where the async VOL's transactional copy lands (Sec. II-C: "caching
+/// data either to a memory buffer on the same node or to a node-local
+/// SSD"; Cori additionally offers a shared burst buffer).
+enum class StagingTier {
+  kDram,          ///< on-node memory buffer
+  kNodeLocalSsd,  ///< per-node NVMe (Summit: 1.6 TB)
+  kBurstBuffer,   ///< shared SSD tier (Cori: 1.7 TB/s aggregate)
+};
+
+/// Everything the epoch simulator needs to know about a machine.
+struct SystemSpec {
+  std::string name;
+  int ranks_per_node = 1;  ///< the paper's launch configuration
+  int max_nodes = 1;
+  storage::PfsModel pfs;
+  storage::MemcpyModel staging;  ///< DRAM staging copy (t_transact source)
+  GpuLinkModel gpu_link;
+  bool has_gpus = false;
+  ContentionModel contention;
+  /// Node-local SSD write bandwidth (0 = no local SSD).
+  double ssd_node_bandwidth = 0.0;
+  /// Shared burst-buffer tier (0 = none).  The BB behaves like a fast
+  /// PFS: per-node injection up to bb_node_bandwidth, capped globally.
+  double bb_aggregate_bandwidth = 0.0;
+  double bb_node_bandwidth = 0.0;
+
+  bool supports(StagingTier tier) const {
+    switch (tier) {
+      case StagingTier::kDram: return true;
+      case StagingTier::kNodeLocalSsd: return ssd_node_bandwidth > 0.0;
+      case StagingTier::kBurstBuffer: return bb_aggregate_bandwidth > 0.0;
+    }
+    return false;
+  }
+
+  /// Summit (OLCF): 4608 nodes, 2x POWER9 + 6x V100 per node, NVLink
+  /// 2.0, Alpine GPFS at 2.5 TB/s; the paper runs 6 ranks/node.
+  static SystemSpec summit();
+
+  /// Cori-Haswell (NERSC): 2388 Haswell nodes, Lustre at 700 GB/s with
+  /// the 72-OST stripe_large setting; the paper runs 32 ranks/node.
+  static SystemSpec cori_haswell();
+};
+
+}  // namespace apio::sim

@@ -1,0 +1,84 @@
+// Storage backends: flat byte-addressable object stores underneath the
+// apio-h5 container.  A backend is what the paper's storage stack calls
+// "the target storage location" — a parallel file system file, a
+// node-local SSD file, or an in-memory staging buffer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace apio::storage {
+
+/// Byte-level transfer counters, readable while the backend is in use.
+struct BackendStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t flushes = 0;
+};
+
+/// Abstract flat address space with positional read/write.
+///
+/// Thread-safety: write()/read() on disjoint ranges may be issued
+/// concurrently (parallel ranks write disjoint hyperslabs); overlapping
+/// concurrent writes are a data race, as they are in MPI-IO.
+/// Metadata operations (truncate) must be externally serialised.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Current end-of-object offset in bytes.
+  virtual std::uint64_t size() const = 0;
+
+  /// Reads exactly out.size() bytes at `offset`; throws IoError when the
+  /// range extends past end of object.
+  virtual void read(std::uint64_t offset, std::span<std::byte> out) = 0;
+
+  /// Writes data at `offset`, growing the object as needed.
+  virtual void write(std::uint64_t offset, std::span<const std::byte> data) = 0;
+
+  /// Persists buffered data (no-op for memory backends).
+  virtual void flush() = 0;
+
+  /// Sets the object size, zero-filling on growth.
+  virtual void truncate(std::uint64_t new_size) = 0;
+
+  /// Human-readable backend identity for diagnostics.
+  virtual std::string name() const = 0;
+
+  BackendStats stats() const {
+    BackendStats s;
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.read_ops = read_ops_.load(std::memory_order_relaxed);
+    s.write_ops = write_ops_.load(std::memory_order_relaxed);
+    s.flushes = flushes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ protected:
+  void count_read(std::uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_write(std::uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_flush() { flushes_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+using BackendPtr = std::shared_ptr<Backend>;
+
+}  // namespace apio::storage

@@ -1,0 +1,46 @@
+#include "storage/faulty_backend.h"
+
+#include "common/error.h"
+
+namespace apio::storage {
+
+FaultyBackend::FaultyBackend(BackendPtr inner, FaultPlan plan)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      writes_left_(plan.fail_writes_after),
+      reads_left_(plan.fail_reads_after) {
+  APIO_REQUIRE(inner_ != nullptr, "FaultyBackend requires an inner backend");
+}
+
+void FaultyBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  if (!healed_.load() && plan_.fail_reads_after >= 0 &&
+      reads_left_.fetch_sub(1) <= 0) {
+    faults_.fetch_add(1);
+    throw IoError("injected read fault at offset " + std::to_string(offset));
+  }
+  inner_->read(offset, out);
+  count_read(out.size());
+}
+
+void FaultyBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
+  if (!healed_.load() && plan_.fail_writes_after >= 0 &&
+      writes_left_.fetch_sub(1) <= 0) {
+    faults_.fetch_add(1);
+    throw IoError("injected write fault at offset " + std::to_string(offset));
+  }
+  inner_->write(offset, data);
+  count_write(data.size());
+}
+
+void FaultyBackend::flush() {
+  if (!healed_.load() && plan_.fail_flush) {
+    faults_.fetch_add(1);
+    throw IoError("injected flush fault");
+  }
+  inner_->flush();
+  count_flush();
+}
+
+void FaultyBackend::heal() { healed_.store(true); }
+
+}  // namespace apio::storage

@@ -1,0 +1,54 @@
+// FaultyBackend: deterministic fault injection for testing error paths.
+//
+// Wraps another backend and fails selected operations with IoError —
+// after a countdown, on an operation-index set, or always — so tests
+// can drive the library's failure handling (async error propagation,
+// event-set error collection, partial-write recovery) without real
+// hardware faults.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "storage/backend.h"
+
+namespace apio::storage {
+
+struct FaultPlan {
+  /// Fail every write once this many write calls have succeeded
+  /// (negative = never).
+  std::int64_t fail_writes_after = -1;
+  /// Fail every read once this many read calls have succeeded.
+  std::int64_t fail_reads_after = -1;
+  /// Fail flush() calls.
+  bool fail_flush = false;
+};
+
+class FaultyBackend final : public Backend {
+ public:
+  FaultyBackend(BackendPtr inner, FaultPlan plan);
+
+  std::uint64_t size() const override { return inner_->size(); }
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+  void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  void flush() override;
+  void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
+  std::string name() const override { return "faulty(" + inner_->name() + ")"; }
+
+  /// Operations rejected so far.
+  std::uint64_t faults_injected() const { return faults_.load(); }
+
+  /// Heals the backend: subsequent operations succeed.
+  void heal();
+
+ private:
+  BackendPtr inner_;
+  FaultPlan plan_;
+  std::atomic<std::int64_t> writes_left_;
+  std::atomic<std::int64_t> reads_left_;
+  std::atomic<std::uint64_t> faults_{0};
+  std::atomic<bool> healed_{false};
+};
+
+}  // namespace apio::storage

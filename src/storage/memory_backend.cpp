@@ -1,0 +1,40 @@
+#include "storage/memory_backend.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace apio::storage {
+
+std::uint64_t MemoryBackend::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.size();
+}
+
+void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offset + out.size() > data_.size()) {
+    throw IoError("memory backend: read past end of object (offset " +
+                  std::to_string(offset) + " + " + std::to_string(out.size()) +
+                  " > " + std::to_string(data_.size()) + ")");
+  }
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+  count_read(out.size());
+}
+
+void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t end = offset + data.size();
+  if (end > data_.size()) data_.resize(end);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  count_write(data.size());
+}
+
+void MemoryBackend::flush() { count_flush(); }
+
+void MemoryBackend::truncate(std::uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.resize(new_size);
+}
+
+}  // namespace apio::storage

@@ -1,0 +1,32 @@
+// In-memory backend: models a DRAM or node-local staging area, and
+// backs unit tests that must not touch the file system.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "storage/backend.h"
+
+namespace apio::storage {
+
+/// Flat in-memory object.  All operations are internally locked, so the
+/// backend is safe for the concurrent disjoint-range access pattern of
+/// parallel ranks (the lock serialises the copies; correctness, not
+/// parallel throughput, is the goal at test scale).
+class MemoryBackend final : public Backend {
+ public:
+  MemoryBackend() = default;
+
+  std::uint64_t size() const override;
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+  void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  void flush() override;
+  void truncate(std::uint64_t new_size) override;
+  std::string name() const override { return "memory"; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace apio::storage

@@ -1,0 +1,84 @@
+#include "storage/posix_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace apio::storage {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+PosixBackend::PosixBackend(const std::string& path, Mode mode) : path_(path) {
+  int flags = O_RDWR;
+  switch (mode) {
+    case Mode::kCreateTruncate: flags |= O_CREAT | O_TRUNC; break;
+    case Mode::kOpenExisting: break;
+    case Mode::kOpenOrCreate: flags |= O_CREAT; break;
+  }
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) throw_errno("open failed for", path);
+}
+
+PosixBackend::~PosixBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t PosixBackend::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat failed for", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void PosixBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread failed for", path_);
+    }
+    if (n == 0) {
+      throw IoError("posix backend: read past end of file '" + path_ + "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  count_read(out.size());
+}
+
+void PosixBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite failed for", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  count_write(data.size());
+}
+
+void PosixBackend::flush() {
+  if (::fsync(fd_) != 0) throw_errno("fsync failed for", path_);
+  count_flush();
+}
+
+void PosixBackend::truncate(std::uint64_t new_size) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    throw_errno("ftruncate failed for", path_);
+  }
+}
+
+}  // namespace apio::storage

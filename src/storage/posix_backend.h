@@ -1,0 +1,38 @@
+// POSIX file backend using positional pread/pwrite, the same primitive
+// layer HDF5's sec2 driver uses underneath a parallel file system.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "storage/backend.h"
+
+namespace apio::storage {
+
+/// File-backed flat object.  pread/pwrite are thread-safe at the kernel
+/// level, so concurrent disjoint-range access needs no user-space lock.
+class PosixBackend final : public Backend {
+ public:
+  enum class Mode { kCreateTruncate, kOpenExisting, kOpenOrCreate };
+
+  PosixBackend(const std::string& path, Mode mode);
+  ~PosixBackend() override;
+
+  PosixBackend(const PosixBackend&) = delete;
+  PosixBackend& operator=(const PosixBackend&) = delete;
+
+  std::uint64_t size() const override;
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+  void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  void flush() override;
+  void truncate(std::uint64_t new_size) override;
+  std::string name() const override { return "posix:" + path_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace apio::storage

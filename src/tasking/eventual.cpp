@@ -1,0 +1,72 @@
+#include "tasking/eventual.h"
+
+#include "common/error.h"
+
+namespace apio::tasking {
+
+EventualPtr Eventual::make_ready() {
+  auto e = make();
+  e->set();
+  return e;
+}
+
+void Eventual::set() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  APIO_ASSERT(!done_, "Eventual::set() called twice");
+  done_ = true;
+  complete_locked(lock);
+}
+
+void Eventual::set_error(std::exception_ptr error) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  APIO_ASSERT(!done_, "Eventual::set_error() after completion");
+  done_ = true;
+  error_ = std::move(error);
+  complete_locked(lock);
+}
+
+void Eventual::complete_locked(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::function<void()>> continuations;
+  continuations.swap(continuations_);
+  cv_.notify_all();
+  lock.unlock();
+  for (auto& fn : continuations) fn();
+}
+
+void Eventual::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void Eventual::wait_ignore_error() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+}
+
+bool Eventual::test() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+bool Eventual::has_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_ && error_ != nullptr;
+}
+
+void Eventual::on_ready(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!done_) {
+      continuations_.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+void wait_all(const std::vector<EventualPtr>& eventuals) {
+  for (const auto& e : eventuals) e->wait();
+}
+
+}  // namespace apio::tasking

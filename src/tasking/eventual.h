@@ -1,0 +1,74 @@
+// Eventuals: completion objects in the style of Argobots' ABT_eventual.
+//
+// An Eventual is a one-shot completion flag with blocking wait, polling
+// test, and continuation callbacks.  The async VOL connector returns an
+// Eventual per enqueued operation, and uses the continuation hook to
+// implement operation dependency chains without blocking any thread.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace apio::tasking {
+
+class Eventual;
+using EventualPtr = std::shared_ptr<Eventual>;
+
+/// One-shot completion object.  Thread-safe.
+///
+/// Lifecycle: created pending → set() or set_error() exactly once →
+/// observers are released and continuations run (on the setter's thread).
+class Eventual : public std::enable_shared_from_this<Eventual> {
+ public:
+  static EventualPtr make() { return std::make_shared<Eventual>(); }
+
+  /// Creates an eventual that is already completed; useful as a
+  /// dependency placeholder.
+  static EventualPtr make_ready();
+
+  /// Marks the eventual complete and runs continuations.
+  /// Must be called at most once (set or set_error).
+  void set();
+
+  /// Marks the eventual failed.  wait() rethrows the exception.
+  void set_error(std::exception_ptr error);
+
+  /// Blocks until completion; rethrows a stored error.
+  void wait();
+
+  /// Blocks until completion without rethrowing; use when draining a
+  /// queue whose per-operation errors are reported elsewhere.
+  void wait_ignore_error();
+
+  /// Non-blocking completion probe.  Does not rethrow errors; use
+  /// has_error()/wait() to observe them.
+  bool test() const;
+
+  /// True when completed with an error.
+  bool has_error() const;
+
+  /// Registers a continuation.  If the eventual is already complete the
+  /// callback runs immediately on the calling thread; otherwise it runs
+  /// on the completing thread.  Continuations must be cheap and noexcept
+  /// in spirit (they schedule work, they do not perform it).
+  void on_ready(std::function<void()> fn);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::exception_ptr error_;
+  std::vector<std::function<void()>> continuations_;
+
+  void complete_locked(std::unique_lock<std::mutex>& lock);
+};
+
+/// Blocks until every eventual in the range is complete; rethrows the
+/// first stored error encountered (in range order).
+void wait_all(const std::vector<EventualPtr>& eventuals);
+
+}  // namespace apio::tasking

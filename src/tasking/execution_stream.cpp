@@ -1,0 +1,34 @@
+#include "tasking/execution_stream.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace apio::tasking {
+
+ExecutionStream::ExecutionStream(PoolPtr pool) : pool_(std::move(pool)) {
+  APIO_REQUIRE(pool_ != nullptr, "ExecutionStream requires a pool");
+  thread_ = std::thread([this] { run(); });
+}
+
+ExecutionStream::~ExecutionStream() { shutdown(); }
+
+void ExecutionStream::shutdown() {
+  if (!pool_->closed()) pool_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExecutionStream::run() {
+  for (;;) {
+    auto task = pool_->pop();
+    if (!task) return;  // pool closed and drained
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      // Tasks are expected to route failures through their eventuals;
+      // an escaped exception is a bug in the task, not the stream.
+      APIO_LOG_ERROR("task escaped exception: " << e.what());
+    }
+  }
+}
+
+}  // namespace apio::tasking

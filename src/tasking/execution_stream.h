@@ -1,0 +1,40 @@
+// Execution streams: dedicated worker threads in the style of Argobots'
+// ABT_xstream.  An execution stream drains one pool until the pool is
+// closed, then exits.  The async VOL connector owns one background
+// execution stream per file (FIFO semantics), mirroring the design of
+// the HDF5 async VOL connector the paper evaluates.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "tasking/pool.h"
+
+namespace apio::tasking {
+
+/// A worker thread bound to a pool.  Joinable; join() requires the pool
+/// to have been closed (otherwise it would block forever).
+class ExecutionStream {
+ public:
+  explicit ExecutionStream(PoolPtr pool);
+
+  ExecutionStream(const ExecutionStream&) = delete;
+  ExecutionStream& operator=(const ExecutionStream&) = delete;
+
+  /// Closes the pool (if still open) and joins the worker.
+  ~ExecutionStream();
+
+  /// Closes the pool, drains remaining tasks and joins the worker.
+  /// Idempotent.
+  void shutdown();
+
+  const PoolPtr& pool() const { return pool_; }
+
+ private:
+  PoolPtr pool_;
+  std::thread thread_;
+
+  void run();
+};
+
+}  // namespace apio::tasking

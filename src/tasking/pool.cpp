@@ -1,0 +1,51 @@
+#include "tasking/pool.h"
+
+#include "common/error.h"
+
+namespace apio::tasking {
+
+void Pool::push(TaskFn task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw StateError("Pool::push() on closed pool");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::optional<TaskFn> Pool::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return std::nullopt;
+  TaskFn task = std::move(tasks_.front());
+  tasks_.pop_front();
+  return task;
+}
+
+std::optional<TaskFn> Pool::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return std::nullopt;
+  TaskFn task = std::move(tasks_.front());
+  tasks_.pop_front();
+  return task;
+}
+
+void Pool::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Pool::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t Pool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+}  // namespace apio::tasking

@@ -1,0 +1,46 @@
+// Task pools: FIFO work queues in the style of Argobots' ABT_pool.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace apio::tasking {
+
+/// Unit of work executed by an ExecutionStream.
+using TaskFn = std::function<void()>;
+
+/// Thread-safe FIFO queue of tasks.  Multiple producers, multiple
+/// consumers.  close() releases blocked consumers; after close, push()
+/// throws and pop() drains remaining tasks then returns nullopt.
+class Pool {
+ public:
+  /// Enqueues a task.  Throws StateError if the pool is closed.
+  void push(TaskFn task);
+
+  /// Blocks for the next task.  Returns nullopt when the pool is closed
+  /// and drained.
+  std::optional<TaskFn> pop();
+
+  /// Non-blocking pop; nullopt when empty (even if not closed).
+  std::optional<TaskFn> try_pop();
+
+  /// Marks the pool closed: producers are rejected, consumers drain.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<TaskFn> tasks_;
+  bool closed_ = false;
+};
+
+using PoolPtr = std::shared_ptr<Pool>;
+
+}  // namespace apio::tasking

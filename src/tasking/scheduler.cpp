@@ -1,0 +1,64 @@
+#include "tasking/scheduler.h"
+
+#include "common/error.h"
+
+namespace apio::tasking {
+
+Scheduler::Scheduler(std::size_t num_streams) : pool_(std::make_shared<Pool>()) {
+  APIO_REQUIRE(num_streams >= 1, "Scheduler requires at least one stream");
+  streams_.reserve(num_streams);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    streams_.push_back(std::make_unique<ExecutionStream>(pool_));
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+EventualPtr Scheduler::submit(TaskFn fn, const std::vector<EventualPtr>& deps) {
+  auto done = Eventual::make();
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Wrap the body so its outcome always lands in `done`.
+  auto body = [pool = pool_, fn = std::move(fn), done]() mutable {
+    try {
+      fn();
+      done->set();
+    } catch (...) {
+      done->set_error(std::current_exception());
+    }
+  };
+
+  if (deps.empty()) {
+    pool_->push(std::move(body));
+    return done;
+  }
+
+  // Count-down latch over the dependencies; the last completing
+  // dependency enqueues the task.  Shared state keeps the body alive.
+  struct PendingTask {
+    std::atomic<std::size_t> remaining;
+    TaskFn body;
+    PoolPtr pool;
+  };
+  auto pending = std::make_shared<PendingTask>();
+  pending->remaining.store(deps.size());
+  pending->body = std::move(body);
+  pending->pool = pool_;
+
+  for (const auto& dep : deps) {
+    APIO_REQUIRE(dep != nullptr, "null dependency eventual");
+    dep->on_ready([pending] {
+      if (pending->remaining.fetch_sub(1) == 1) {
+        pending->pool->push(std::move(pending->body));
+      }
+    });
+  }
+  return done;
+}
+
+void Scheduler::shutdown() {
+  pool_->close();
+  for (auto& stream : streams_) stream->shutdown();
+}
+
+}  // namespace apio::tasking

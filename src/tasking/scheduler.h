@@ -1,0 +1,56 @@
+// Dependency-aware task scheduler over a set of execution streams.
+//
+// submit() returns an Eventual that completes when the task body has
+// run.  A task may declare dependencies (other Eventuals); it becomes
+// eligible only when all of them have completed.  Dependency release is
+// callback-driven — no thread blocks while waiting for predecessors —
+// mirroring how the HDF5 async VOL connector chains H5 operations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tasking/eventual.h"
+#include "tasking/execution_stream.h"
+#include "tasking/pool.h"
+
+namespace apio::tasking {
+
+/// A scheduler with `num_streams` worker threads sharing one FIFO pool.
+class Scheduler {
+ public:
+  explicit Scheduler(std::size_t num_streams = 1);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Drains outstanding tasks and joins all streams.
+  ~Scheduler();
+
+  /// Submits `fn` for execution after all `deps` complete.  The returned
+  /// eventual carries any exception thrown by `fn`.
+  ///
+  /// If a dependency completed with an error the task still runs — the
+  /// VOL layer decides whether to propagate or suppress predecessor
+  /// failures, matching the error-stack semantics of the async VOL.
+  EventualPtr submit(TaskFn fn, const std::vector<EventualPtr>& deps = {});
+
+  /// Closes the pool and joins all streams.  Further submit() calls throw.
+  /// Idempotent.
+  void shutdown();
+
+  std::size_t num_streams() const { return streams_.size(); }
+
+  /// Number of tasks submitted over the scheduler's lifetime.
+  std::uint64_t tasks_submitted() const { return tasks_submitted_.load(); }
+
+ private:
+  PoolPtr pool_;
+  std::vector<std::unique_ptr<ExecutionStream>> streams_;
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+};
+
+}  // namespace apio::tasking

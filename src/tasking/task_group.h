@@ -1,0 +1,44 @@
+// TaskGroup: fork-join helper over a Scheduler.
+#pragma once
+
+#include <vector>
+
+#include "tasking/eventual.h"
+#include "tasking/scheduler.h"
+
+namespace apio::tasking {
+
+/// Collects eventuals from a burst of submissions and joins them.
+/// Typical use:
+///
+///   TaskGroup group(scheduler);
+///   for (...) group.run([=] { ... });
+///   group.wait();   // rethrows the first failure
+class TaskGroup {
+ public:
+  explicit TaskGroup(Scheduler& scheduler) : scheduler_(&scheduler) {}
+
+  /// Submits a task into the group.
+  void run(TaskFn fn) { eventuals_.push_back(scheduler_->submit(std::move(fn))); }
+
+  /// Submits a task with dependencies into the group.
+  void run_after(TaskFn fn, const std::vector<EventualPtr>& deps) {
+    eventuals_.push_back(scheduler_->submit(std::move(fn), deps));
+  }
+
+  /// Waits for all tasks; rethrows the first error (submission order).
+  /// The group can be reused afterwards.
+  void wait() {
+    auto pending = std::move(eventuals_);
+    eventuals_.clear();
+    wait_all(pending);
+  }
+
+  std::size_t size() const { return eventuals_.size(); }
+
+ private:
+  Scheduler* scheduler_;
+  std::vector<EventualPtr> eventuals_;
+};
+
+}  // namespace apio::tasking

@@ -1,0 +1,279 @@
+#include "vol/async_connector.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace apio::vol {
+
+AsyncConnector::AsyncConnector(h5::FilePtr file, AsyncOptions options,
+                               const Clock* clock)
+    : file_(std::move(file)),
+      options_(options),
+      clock_(clock != nullptr ? clock : &wall_clock_) {
+  APIO_REQUIRE(file_ != nullptr, "AsyncConnector requires an open file");
+  const double t0 = clock_->now();
+  pool_ = std::make_shared<tasking::Pool>();
+  stream_ = std::make_unique<tasking::ExecutionStream>(pool_);
+  last_op_ = tasking::Eventual::make_ready();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.init_seconds = clock_->now() - t0;
+}
+
+AsyncConnector::~AsyncConnector() {
+  try {
+    shutdown_machinery();
+  } catch (...) {
+    // Failures surface through explicit close()/wait_all(); the
+    // destructor must stay silent.
+  }
+}
+
+void AsyncConnector::shutdown_machinery() {
+  if (closed_) return;
+  const double t0 = clock_->now();
+  wait_all();
+  closed_ = true;
+  stream_->shutdown();
+  clear_cache();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.term_seconds = clock_->now() - t0;
+}
+
+tasking::EventualPtr AsyncConnector::enqueue_ordered(tasking::TaskFn task) {
+  if (closed_) throw StateError("AsyncConnector used after close()");
+  auto done = tasking::Eventual::make();
+  auto body = [task = std::move(task), done]() mutable {
+    try {
+      task();
+      done->set();
+    } catch (...) {
+      done->set_error(std::current_exception());
+    }
+  };
+
+  std::lock_guard<std::mutex> lock(order_mutex_);
+  tasking::EventualPtr prev = last_op_;
+  last_op_ = done;
+  // FIFO chain: the new task enters the pool only when its predecessor
+  // has finished.  A predecessor failure does not cancel successors —
+  // the async VOL records errors per operation, it does not poison the
+  // queue.
+  prev->on_ready([pool = pool_, body = std::move(body)]() mutable {
+    pool->push(std::move(body));
+  });
+  return done;
+}
+
+void AsyncConnector::note_staged(std::uint64_t bytes) {
+  if (options_.max_staged_bytes > 0) {
+    std::unique_lock<std::mutex> lock(staging_mutex_);
+    staging_cv_.wait(lock, [&] {
+      return staged_outstanding_.load() + bytes <= options_.max_staged_bytes ||
+             staged_outstanding_.load() == 0;
+    });
+  }
+  const std::uint64_t now_staged = staged_outstanding_.fetch_add(bytes) + bytes;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.bytes_staged += bytes;
+  stats_.staged_high_watermark = std::max(stats_.staged_high_watermark, now_staged);
+}
+
+void AsyncConnector::note_unstaged(std::uint64_t bytes) {
+  staged_outstanding_.fetch_sub(bytes);
+  if (options_.max_staged_bytes > 0) {
+    std::lock_guard<std::mutex> lock(staging_mutex_);
+    staging_cv_.notify_all();
+  }
+}
+
+RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
+                                         const h5::Selection& selection,
+                                         std::span<const std::byte> data) {
+  const double t0 = clock_->now();
+
+  // The transactional copy: a non-zero-copy into a private staging area
+  // so the caller may immediately reuse (or mutate) its memory while
+  // the background thread performs the actual storage transfer.  The
+  // staging area is either a DRAM buffer or, when configured, a
+  // node-local staging device (SSD) region.
+  note_staged(data.size());
+  std::shared_ptr<std::vector<std::byte>> staged;
+  std::uint64_t device_offset = 0;
+  if (options_.staging_backend) {
+    device_offset = staging_device_offset_.fetch_add(data.size());
+    options_.staging_backend->write(device_offset, data);
+  } else {
+    staged = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+  }
+  const double blocking = clock_->now() - t0;
+
+  const int ranks = reported_ranks();
+  auto record_completion = [this, t0, blocking, bytes = data.size(), ranks] {
+    IoRecord record;
+    record.op = IoOp::kWrite;
+    record.bytes = bytes;
+    record.ranks = ranks;
+    record.blocking_seconds = blocking;
+    record.completion_seconds = clock_->now() - t0;
+    record.async = true;
+    observe(record);
+  };
+
+  auto done = enqueue_ordered([this, ds, selection, staged, device_offset,
+                               bytes = data.size(), record_completion]() mutable {
+    if (options_.staging_backend) {
+      std::vector<std::byte> from_device(bytes);
+      options_.staging_backend->read(device_offset, from_device);
+      ds.write_raw(selection, from_device);
+    } else {
+      ds.write_raw(selection, *staged);
+      staged.reset();
+    }
+    note_unstaged(bytes);
+    record_completion();
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.writes_enqueued;
+  }
+  return std::make_shared<Request>(std::move(done));
+}
+
+RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
+                                        const h5::Selection& selection,
+                                        std::span<std::byte> out) {
+  const double t0 = clock_->now();
+  const std::string key = cache_key(ds, selection);
+
+  // Prefetch-cache hit: the data was pulled into node-local memory
+  // during a previous compute phase; serve it with a memcpy.
+  CacheEntry entry;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      entry = it->second;
+      cache_.erase(it);
+      hit = true;
+    }
+  }
+  if (hit) {
+    entry.ready->wait();  // normally already complete
+    APIO_REQUIRE(entry.data->size() == out.size(),
+                 "prefetched buffer size does not match read selection");
+    std::memcpy(out.data(), entry.data->data(), out.size());
+    const double dt = clock_->now() - t0;
+    IoRecord record;
+    record.op = IoOp::kRead;
+    record.bytes = out.size();
+    record.ranks = reported_ranks();
+    record.blocking_seconds = dt;
+    record.completion_seconds = dt;
+    record.async = true;
+    record.cache_hit = true;
+    observe(record);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.cache_hits;
+    }
+    return std::make_shared<Request>(tasking::Eventual::make_ready());
+  }
+
+  const int ranks = reported_ranks();
+  auto done = enqueue_ordered([this, ds, selection, out, t0, ranks]() mutable {
+    ds.read_raw(selection, out);
+    IoRecord record;
+    record.op = IoOp::kRead;
+    record.bytes = out.size();
+    record.ranks = ranks;
+    record.blocking_seconds = 0.0;  // caller was not blocked
+    record.completion_seconds = clock_->now() - t0;
+    record.async = true;
+    observe(record);
+  });
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reads_enqueued;
+    ++stats_.cache_misses;
+  }
+  return std::make_shared<Request>(std::move(done));
+}
+
+void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
+  const std::string key = cache_key(ds, selection);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_.count(key) > 0) return;  // already in flight
+  }
+  const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
+  auto buffer = std::make_shared<std::vector<std::byte>>(bytes);
+  auto done = enqueue_ordered([ds, selection, buffer]() mutable {
+    ds.read_raw(selection, *buffer);
+  });
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.emplace(key, CacheEntry{done, buffer});
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.prefetches_enqueued;
+}
+
+RequestPtr AsyncConnector::flush() {
+  auto done = enqueue_ordered([file = file_] { file->flush(); });
+  return std::make_shared<Request>(std::move(done));
+}
+
+void AsyncConnector::wait_all() {
+  // Drains the FIFO without rethrowing: per-operation failures are
+  // reported through each Request (or collected by an EventSet), the
+  // H5ESwait contract.  Rethrowing only the tail's error here would be
+  // arbitrary — intermediate failures would vanish.
+  tasking::EventualPtr tail;
+  {
+    std::lock_guard<std::mutex> lock(order_mutex_);
+    tail = last_op_;
+  }
+  tail->wait_ignore_error();
+}
+
+void AsyncConnector::close() {
+  shutdown_machinery();
+  if (file_->is_open()) file_->close();
+}
+
+AsyncStats AsyncConnector::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void AsyncConnector::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+std::string AsyncConnector::cache_key(const h5::Dataset& ds,
+                                      const h5::Selection& selection) {
+  std::ostringstream os;
+  os << ds.object_key() << '|';
+  if (selection.is_all()) {
+    os << "all";
+  } else {
+    const h5::Hyperslab& slab = selection.slab();
+    auto emit = [&os](const h5::Dims& dims) {
+      os << '[';
+      for (std::uint64_t d : dims) os << d << ',';
+      os << ']';
+    };
+    emit(slab.start);
+    emit(slab.stride);
+    emit(slab.count);
+    emit(slab.block);
+  }
+  return os.str();
+}
+
+}  // namespace apio::vol

@@ -1,0 +1,80 @@
+// The Virtual Object Layer: an abstract connector that intercepts
+// container operations, mirroring HDF5's VOL architecture (Sec. II-A).
+//
+// Applications program against Connector; whether a dataset write is a
+// blocking PFS transfer (NativeConnector) or an enqueued background
+// operation behind a staging copy (AsyncConnector) is decided by which
+// connector is plugged in — transparently, as with the HDF5 async VOL
+// DLL the paper evaluates.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "h5/file.h"
+#include "vol/observer.h"
+#include "vol/request.h"
+
+namespace apio::vol {
+
+class Connector {
+ public:
+  virtual ~Connector() = default;
+
+  /// The underlying container (metadata operations — create_group,
+  /// create_dataset — go straight through; they are cheap and
+  /// synchronous in the async VOL as well unless batched).
+  virtual const h5::FilePtr& file() const = 0;
+
+  /// Writes `data` into the selection of `ds`.  The returned request
+  /// completes when the data is resident on the target storage.  For
+  /// the async connector the call returns after the staging copy; the
+  /// caller may reuse `data` immediately (the double-buffer guarantee).
+  virtual RequestPtr dataset_write(h5::Dataset ds, const h5::Selection& selection,
+                                   std::span<const std::byte> data) = 0;
+
+  /// Reads the selection into `out`.  For the async connector the
+  /// caller must keep `out` alive and untouched until the request
+  /// completes, unless the read is served from the prefetch cache (then
+  /// it completes immediately).
+  virtual RequestPtr dataset_read(h5::Dataset ds, const h5::Selection& selection,
+                                  std::span<std::byte> out) = 0;
+
+  /// Hints that the selection will be read soon; the async connector
+  /// pulls it into a node-local cache in the background (the
+  /// prefetching path BD-CATS-IO exercises).  No-op on the native
+  /// connector.
+  virtual void prefetch(h5::Dataset ds, const h5::Selection& selection) = 0;
+
+  /// Flushes container metadata and the backend.
+  virtual RequestPtr flush() = 0;
+
+  /// Blocks until every outstanding operation has completed.
+  virtual void wait_all() = 0;
+
+  /// Completes outstanding work, flushes and closes the container.
+  virtual void close() = 0;
+
+  /// Number of ranks the caller reports for IoRecords (for the model's
+  /// scaling features).  Defaults to 1.
+  void set_reported_ranks(int ranks) { reported_ranks_ = ranks; }
+  int reported_ranks() const { return reported_ranks_; }
+
+  /// Installs the model feedback hook (Fig. 2).  May be null.
+  void set_observer(IoObserverPtr observer) { observer_ = std::move(observer); }
+  const IoObserverPtr& observer() const { return observer_; }
+
+ protected:
+  void observe(const IoRecord& record) {
+    if (observer_) observer_->on_io(record);
+  }
+
+ private:
+  IoObserverPtr observer_;
+  int reported_ranks_ = 1;
+};
+
+using ConnectorPtr = std::shared_ptr<Connector>;
+
+}  // namespace apio::vol

@@ -1,0 +1,76 @@
+#include "vol/event_set.h"
+
+#include "common/error.h"
+
+namespace apio::vol {
+
+void EventSet::insert(RequestPtr request) {
+  APIO_REQUIRE(request != nullptr, "EventSet::insert(null)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.push_back(std::move(request));
+}
+
+std::size_t EventSet::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+bool EventSet::test() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& r : pending_) {
+    if (!r->test()) return false;
+  }
+  return true;
+}
+
+void EventSet::wait() {
+  std::vector<RequestPtr> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(pending_);
+  }
+  std::vector<std::exception_ptr> new_errors;
+  for (auto& r : batch) {
+    try {
+      r->wait();
+    } catch (...) {
+      new_errors.push_back(std::current_exception());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  errors_.insert(errors_.end(), new_errors.begin(), new_errors.end());
+}
+
+std::size_t EventSet::num_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return errors_.size();
+}
+
+std::vector<std::string> EventSet::error_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> messages;
+  messages.reserve(errors_.size());
+  for (const auto& e : errors_) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      messages.emplace_back(ex.what());
+    } catch (...) {
+      messages.emplace_back("<non-standard exception>");
+    }
+  }
+  return messages;
+}
+
+void EventSet::rethrow_first_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!errors_.empty()) std::rethrow_exception(errors_.front());
+}
+
+void EventSet::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  errors_.clear();
+}
+
+}  // namespace apio::vol

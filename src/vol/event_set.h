@@ -1,0 +1,57 @@
+// EventSet: the H5ES-style grouping of asynchronous requests.
+//
+// The paper's applications issue many H5Dwrite calls per I/O phase and
+// wait on them collectively; HDF5 exposes that as an event set
+// (H5EScreate / H5ESwait / H5ESget_err_info).  apio's EventSet wraps a
+// batch of RequestPtr with the same semantics: insert as you issue,
+// wait once per phase, then inspect how many operations failed and why.
+#pragma once
+
+#include <exception>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vol/request.h"
+
+namespace apio::vol {
+
+class EventSet {
+ public:
+  /// Adds a request to the set.  Thread-safe.
+  void insert(RequestPtr request);
+
+  /// Requests currently tracked (completed ones included until
+  /// wait()/clear()).
+  std::size_t size() const;
+
+  /// True when every tracked request has completed (errors count as
+  /// completed).
+  bool test() const;
+
+  /// Blocks until every tracked request completes.  Unlike Request::
+  /// wait(), errors do NOT propagate as exceptions here; they are
+  /// collected for inspection (H5ESwait semantics).  Completed requests
+  /// are dropped from the set; failures remain queryable until clear().
+  void wait();
+
+  /// Number of failed operations observed by past wait() calls.
+  std::size_t num_errors() const;
+
+  /// Human-readable messages of the collected failures, oldest first.
+  std::vector<std::string> error_messages() const;
+
+  /// Rethrows the first collected failure, if any (convenience for
+  /// callers who do want exception propagation).
+  void rethrow_first_error() const;
+
+  /// Drops tracked requests and collected errors.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RequestPtr> pending_;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace apio::vol

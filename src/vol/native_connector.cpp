@@ -1,0 +1,66 @@
+#include "vol/native_connector.h"
+
+#include "common/error.h"
+
+namespace apio::vol {
+namespace {
+
+RequestPtr completed_request() {
+  return std::make_shared<Request>(tasking::Eventual::make_ready());
+}
+
+}  // namespace
+
+NativeConnector::NativeConnector(h5::FilePtr file, const Clock* clock)
+    : file_(std::move(file)), clock_(clock != nullptr ? clock : &wall_clock_) {
+  APIO_REQUIRE(file_ != nullptr, "NativeConnector requires an open file");
+}
+
+RequestPtr NativeConnector::dataset_write(h5::Dataset ds,
+                                          const h5::Selection& selection,
+                                          std::span<const std::byte> data) {
+  const double t0 = clock_->now();
+  ds.write_raw(selection, data);
+  const double dt = clock_->now() - t0;
+  IoRecord record;
+  record.op = IoOp::kWrite;
+  record.bytes = data.size();
+  record.ranks = reported_ranks();
+  record.blocking_seconds = dt;
+  record.completion_seconds = dt;
+  record.async = false;
+  observe(record);
+  return completed_request();
+}
+
+RequestPtr NativeConnector::dataset_read(h5::Dataset ds,
+                                         const h5::Selection& selection,
+                                         std::span<std::byte> out) {
+  const double t0 = clock_->now();
+  ds.read_raw(selection, out);
+  const double dt = clock_->now() - t0;
+  IoRecord record;
+  record.op = IoOp::kRead;
+  record.bytes = out.size();
+  record.ranks = reported_ranks();
+  record.blocking_seconds = dt;
+  record.completion_seconds = dt;
+  record.async = false;
+  observe(record);
+  return completed_request();
+}
+
+void NativeConnector::prefetch(h5::Dataset, const h5::Selection&) {
+  // Synchronous mode has no background machinery to prefetch with.
+}
+
+RequestPtr NativeConnector::flush() {
+  file_->flush();
+  return completed_request();
+}
+
+void NativeConnector::close() {
+  if (file_->is_open()) file_->close();
+}
+
+}  // namespace apio::vol

@@ -1,0 +1,32 @@
+// Asynchronous request tokens returned by VOL operations, analogous to
+// HDF5 event-set entries / the async VOL's internal task objects.
+#pragma once
+
+#include <memory>
+
+#include "tasking/eventual.h"
+
+namespace apio::vol {
+
+/// Completion token for one VOL operation.
+class Request {
+ public:
+  explicit Request(tasking::EventualPtr done) : done_(std::move(done)) {}
+
+  /// Blocks until the operation completed; rethrows its error.
+  void wait() { done_->wait(); }
+
+  /// Non-blocking completion probe.
+  bool test() const { return done_->test(); }
+
+  bool failed() const { return done_->has_error(); }
+
+  const tasking::EventualPtr& eventual() const { return done_; }
+
+ private:
+  tasking::EventualPtr done_;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace apio::vol

@@ -1,0 +1,296 @@
+#include "vol/trace.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace apio::vol {
+namespace {
+
+std::string dims_token(const h5::Dims& dims) {
+  std::string s;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) s += 'x';
+    s += std::to_string(dims[i]);
+  }
+  return s;
+}
+
+h5::Dims parse_dims_token(const std::string& token) {
+  h5::Dims dims;
+  std::size_t pos = 0;
+  while (pos < token.size()) {
+    std::size_t end = token.find('x', pos);
+    if (end == std::string::npos) end = token.size();
+    dims.push_back(std::strtoull(token.substr(pos, end - pos).c_str(), nullptr, 10));
+    pos = end + 1;
+  }
+  return dims;
+}
+
+std::string selection_token(const h5::Selection& selection) {
+  if (selection.is_all()) return "all";
+  const auto& slab = selection.slab();
+  // Only offset/count selections are traced compactly; strided slabs
+  // fall back to "all" semantics would be wrong, so encode all four.
+  std::string s = dims_token(slab.start) + ":" + dims_token(slab.count);
+  if (!slab.stride.empty() || !slab.block.empty()) {
+    s += ":" + dims_token(slab.stride.empty() ? h5::Dims(slab.start.size(), 1)
+                                              : slab.stride);
+    s += ":" + dims_token(slab.block.empty() ? h5::Dims(slab.start.size(), 1)
+                                             : slab.block);
+  }
+  return s;
+}
+
+h5::Selection parse_selection_token(const std::string& token) {
+  if (token == "all") return h5::Selection::all();
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= token.size()) {
+    std::size_t end = token.find(':', pos);
+    if (end == std::string::npos) end = token.size();
+    parts.push_back(token.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (parts.size() != 2 && parts.size() != 4) {
+    throw FormatError("malformed selection token '" + token + "'");
+  }
+  h5::Hyperslab slab;
+  slab.start = parse_dims_token(parts[0]);
+  slab.count = parse_dims_token(parts[1]);
+  if (parts.size() == 4) {
+    slab.stride = parse_dims_token(parts[2]);
+    slab.block = parse_dims_token(parts[3]);
+  }
+  return h5::Selection::hyperslab(std::move(slab));
+}
+
+}  // namespace
+
+std::string to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kWrite: return "write";
+    case TraceEvent::Kind::kRead: return "read";
+    case TraceEvent::Kind::kPrefetch: return "prefetch";
+    case TraceEvent::Kind::kFlush: return "flush";
+  }
+  return "?";
+}
+
+void Trace::append(TraceEvent event) { events_.push_back(std::move(event)); }
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "kind,path,selection,bytes,issue_time,blocking\n";
+  for (const auto& e : events_) {
+    os << static_cast<int>(e.kind) << ',' << e.dataset_path << ','
+       << selection_token(e.selection) << ',' << e.bytes << ',' << e.issue_time
+       << ',' << e.blocking_seconds << '\n';
+  }
+  return os.str();
+}
+
+Trace Trace::from_csv(const std::string& csv) {
+  Trace trace;
+  std::istringstream is(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("kind,", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+      std::size_t end = line.find(',', pos);
+      if (end == std::string::npos) end = line.size();
+      fields.push_back(line.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    if (fields.size() != 6) throw FormatError("malformed trace row: '" + line + "'");
+    TraceEvent e;
+    const int kind = std::atoi(fields[0].c_str());
+    if (kind < 0 || kind > 3) throw FormatError("bad trace kind in '" + line + "'");
+    e.kind = static_cast<TraceEvent::Kind>(kind);
+    e.dataset_path = fields[1];
+    e.selection = parse_selection_token(fields[2]);
+    e.bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
+    e.issue_time = std::atof(fields[4].c_str());
+    e.blocking_seconds = std::atof(fields[5].c_str());
+    trace.append(std::move(e));
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder::TraceRecorder(ConnectorPtr inner, const Clock* clock)
+    : inner_(std::move(inner)),
+      clock_(clock != nullptr ? clock : &wall_clock_),
+      start_(0.0) {
+  APIO_REQUIRE(inner_ != nullptr, "TraceRecorder requires an inner connector");
+  start_ = clock_->now();
+}
+
+void TraceRecorder::record(TraceEvent::Kind kind, const h5::Dataset* ds,
+                           const h5::Selection& selection, std::uint64_t bytes,
+                           double t0) {
+  TraceEvent event;
+  event.kind = kind;
+  if (ds != nullptr) {
+    event.dataset_path = inner_->file()->path_of(*ds);
+    event.selection = selection;
+  }
+  event.bytes = bytes;
+  event.issue_time = t0 - start_;
+  event.blocking_seconds = clock_->now() - t0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.append(std::move(event));
+}
+
+RequestPtr TraceRecorder::dataset_write(h5::Dataset ds, const h5::Selection& selection,
+                                        std::span<const std::byte> data) {
+  const double t0 = clock_->now();
+  auto request = inner_->dataset_write(ds, selection, data);
+  record(TraceEvent::Kind::kWrite, &ds, selection, data.size(), t0);
+  return request;
+}
+
+RequestPtr TraceRecorder::dataset_read(h5::Dataset ds, const h5::Selection& selection,
+                                       std::span<std::byte> out) {
+  const double t0 = clock_->now();
+  auto request = inner_->dataset_read(ds, selection, out);
+  record(TraceEvent::Kind::kRead, &ds, selection, out.size(), t0);
+  return request;
+}
+
+void TraceRecorder::prefetch(h5::Dataset ds, const h5::Selection& selection) {
+  const double t0 = clock_->now();
+  inner_->prefetch(ds, selection);
+  const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
+  record(TraceEvent::Kind::kPrefetch, &ds, selection, bytes, t0);
+}
+
+RequestPtr TraceRecorder::flush() {
+  const double t0 = clock_->now();
+  auto request = inner_->flush();
+  record(TraceEvent::Kind::kFlush, nullptr, h5::Selection::all(), 0, t0);
+  return request;
+}
+
+Trace TraceRecorder::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+
+ReplayResult replay_trace(const Trace& trace, Connector& connector,
+                          ReplayOptions options) {
+  WallClock clock;
+  const double t_start = clock.now();
+  ReplayResult result;
+  std::vector<RequestPtr> outstanding;
+  double prev_issue = 0.0;
+
+  for (const auto& event : trace.events()) {
+    // Reproduce the inter-call gap (the original compute phase).
+    if (options.time_scale > 0.0 && event.issue_time > prev_issue) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          (event.issue_time - prev_issue) * options.time_scale));
+    }
+    prev_issue = event.issue_time;
+
+    const double t0 = clock.now();
+    switch (event.kind) {
+      case TraceEvent::Kind::kWrite: {
+        auto ds = connector.file()->dataset_at(event.dataset_path);
+        std::vector<std::byte> payload(event.bytes, std::byte{options.fill});
+        outstanding.push_back(connector.dataset_write(ds, event.selection, payload));
+        result.bytes_written += event.bytes;
+        break;
+      }
+      case TraceEvent::Kind::kRead: {
+        auto ds = connector.file()->dataset_at(event.dataset_path);
+        std::vector<std::byte> sink(event.bytes);
+        auto req = connector.dataset_read(ds, event.selection, sink);
+        req->wait();  // the original caller consumed the data
+        result.bytes_read += event.bytes;
+        break;
+      }
+      case TraceEvent::Kind::kPrefetch: {
+        auto ds = connector.file()->dataset_at(event.dataset_path);
+        connector.prefetch(ds, event.selection);
+        break;
+      }
+      case TraceEvent::Kind::kFlush:
+        outstanding.push_back(connector.flush());
+        break;
+    }
+    result.blocking_seconds += clock.now() - t0;
+    ++result.operations;
+  }
+  for (auto& req : outstanding) req->wait();
+  connector.wait_all();
+  result.total_seconds = clock.now() - t_start;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// IoProfile
+
+IoProfile::IoProfile(const Trace& trace) : histogram_(48, 0) {
+  for (const auto& e : trace.events()) {
+    ++total_ops_;
+    if (e.kind == TraceEvent::Kind::kFlush) continue;
+    auto& p = per_dataset_[e.dataset_path];
+    p.blocking_seconds += e.blocking_seconds;
+    if (e.kind == TraceEvent::Kind::kWrite) {
+      ++p.writes;
+      p.bytes_written += e.bytes;
+    } else {
+      ++p.reads;
+      p.bytes_read += e.bytes;
+    }
+    total_bytes_ += e.bytes;
+    std::size_t bucket = 0;
+    if (e.bytes > 0) {
+      bucket = static_cast<std::size_t>(std::floor(std::log2(
+          static_cast<double>(e.bytes))));
+      bucket = std::min(bucket, histogram_.size() - 1);
+    }
+    ++histogram_[bucket];
+  }
+}
+
+std::string IoProfile::report() const {
+  std::ostringstream os;
+  os << "I/O profile: " << total_ops_ << " operations, "
+     << format_bytes(total_bytes_) << " moved\n";
+  os << "  per dataset:\n";
+  for (const auto& [path, p] : per_dataset_) {
+    os << "    " << path << ": " << p.writes << " writes ("
+       << format_bytes(p.bytes_written) << "), " << p.reads << " reads ("
+       << format_bytes(p.bytes_read) << "), blocking "
+       << format_seconds(p.blocking_seconds) << '\n';
+  }
+  os << "  request-size histogram (non-empty buckets):\n";
+  for (std::size_t i = 0; i < histogram_.size(); ++i) {
+    if (histogram_[i] == 0) continue;
+    os << "    [" << format_bytes(1ull << i) << ", "
+       << format_bytes(1ull << (i + 1)) << "): " << histogram_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace apio::vol

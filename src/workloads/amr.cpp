@@ -1,0 +1,133 @@
+#include "workloads/amr.h"
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace apio::workloads {
+
+std::uint64_t Box::num_cells() const {
+  std::uint64_t n = 1;
+  for (std::uint64_t s : size) n *= s;
+  return n;
+}
+
+h5::Selection Box::selection() const { return h5::Selection::offsets(lo, size); }
+
+std::vector<Box> decompose_domain(const h5::Dims& domain, int parts) {
+  APIO_REQUIRE(!domain.empty(), "cannot decompose a rank-0 domain");
+  APIO_REQUIRE(parts >= 1, "need at least one part");
+  std::vector<Box> boxes;
+  boxes.reserve(static_cast<std::size_t>(parts));
+  const std::uint64_t extent = domain[0];
+  const std::uint64_t base = extent / static_cast<std::uint64_t>(parts);
+  const std::uint64_t remainder = extent % static_cast<std::uint64_t>(parts);
+  std::uint64_t offset = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::uint64_t len = base + (static_cast<std::uint64_t>(p) < remainder ? 1 : 0);
+    Box box;
+    box.lo = h5::Dims(domain.size(), 0);
+    box.lo[0] = offset;
+    box.size = domain;
+    box.size[0] = len;
+    offset += len;
+    boxes.push_back(std::move(box));
+  }
+  return boxes;
+}
+
+MultiFab::MultiFab(h5::Dims domain, int ncomp, std::vector<Box> local_boxes)
+    : domain_(std::move(domain)), ncomp_(ncomp), boxes_(std::move(local_boxes)) {
+  APIO_REQUIRE(ncomp_ >= 1, "MultiFab needs at least one component");
+  const auto pitch = h5::row_pitches(domain_);
+  data_.reserve(boxes_.size() * static_cast<std::size_t>(ncomp_));
+  for (const Box& box : boxes_) {
+    APIO_REQUIRE(box.lo.size() == domain_.size() && box.size.size() == domain_.size(),
+                 "box rank must match the domain rank");
+    for (int c = 0; c < ncomp_; ++c) {
+      std::vector<float> values(box.num_cells());
+      // Fill in the packed row-major order of the box — the order a
+      // hyperslab write consumes.
+      std::size_t idx = 0;
+      h5::for_each_row_run(domain_, box.selection(),
+                           [&](const h5::Dims& start, std::uint64_t count) {
+                             std::uint64_t linear = 0;
+                             for (std::size_t i = 0; i < start.size(); ++i) {
+                               linear += start[i] * pitch[i];
+                             }
+                             for (std::uint64_t k = 0; k < count; ++k) {
+                               values[idx++] = cell_value(c, linear + k);
+                             }
+                           });
+      data_.push_back(std::move(values));
+    }
+  }
+}
+
+std::uint64_t MultiFab::local_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const Box& box : boxes_) {
+    bytes += box.num_cells() * static_cast<std::uint64_t>(ncomp_) * sizeof(float);
+  }
+  return bytes;
+}
+
+float MultiFab::cell_value(int comp, std::uint64_t linear_cell_index) {
+  return static_cast<float>((linear_cell_index * 31 +
+                             static_cast<std::uint64_t>(comp) * 7 + 1) %
+                            16777216ull);
+}
+
+std::string MultiFab::component_name(int comp) {
+  return "comp" + std::to_string(comp);
+}
+
+void MultiFab::create_plotfile(vol::Connector& connector, const std::string& group,
+                               const h5::Dims& domain, int ncomp) {
+  auto g = connector.file()->root().create_group(group);
+  for (int c = 0; c < ncomp; ++c) {
+    g.create_dataset(component_name(c), h5::Datatype::kFloat32, domain);
+  }
+  g.set_attribute<std::int32_t>("ncomp", ncomp);
+}
+
+double MultiFab::write_plotfile(vol::Connector& connector, const std::string& group,
+                                std::vector<vol::RequestPtr>& outstanding) const {
+  WallClock clock;
+  const double t0 = clock.now();
+  auto g = connector.file()->root().open_group(group);
+  for (std::size_t b = 0; b < boxes_.size(); ++b) {
+    if (boxes_[b].num_cells() == 0) continue;
+    const h5::Selection sel = boxes_[b].selection();
+    for (int c = 0; c < ncomp_; ++c) {
+      auto ds = g.open_dataset(component_name(c));
+      const auto& values = data_[b * static_cast<std::size_t>(ncomp_) + c];
+      outstanding.push_back(connector.dataset_write(
+          ds, sel, std::as_bytes(std::span<const float>(values))));
+    }
+  }
+  return clock.now() - t0;
+}
+
+std::uint64_t MultiFab::verify_plotfile(vol::Connector& connector,
+                                        const std::string& group) const {
+  std::uint64_t failures = 0;
+  auto g = connector.file()->root().open_group(group);
+  for (std::size_t b = 0; b < boxes_.size(); ++b) {
+    if (boxes_[b].num_cells() == 0) continue;
+    const h5::Selection sel = boxes_[b].selection();
+    for (int c = 0; c < ncomp_; ++c) {
+      auto ds = g.open_dataset(component_name(c));
+      std::vector<float> readback(boxes_[b].num_cells());
+      auto req = connector.dataset_read(
+          ds, sel, std::as_writable_bytes(std::span<float>(readback)));
+      req->wait();
+      const auto& expected = data_[b * static_cast<std::size_t>(ncomp_) + c];
+      for (std::size_t i = 0; i < readback.size(); ++i) {
+        if (readback[i] != expected[i]) ++failures;
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace apio::workloads

@@ -1,0 +1,78 @@
+// A miniature block-structured mesh substrate in the spirit of AMReX,
+// sufficient to reproduce the I/O behaviour of the paper's Nyx and
+// Castro runs: a global domain decomposed into per-rank boxes, a
+// MultiFab of named components over those boxes, and an HDF5-style
+// plotfile writer that issues one hyperslab write per (box, component)
+// through a VOL connector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "h5/dataspace.h"
+#include "pmpi/world.h"
+#include "vol/connector.h"
+
+namespace apio::workloads {
+
+/// Axis-aligned box: `lo` corner (inclusive) plus `size` per dimension.
+struct Box {
+  h5::Dims lo;
+  h5::Dims size;
+
+  std::uint64_t num_cells() const;
+  /// The hyperslab this box covers in the global domain.
+  h5::Selection selection() const;
+};
+
+/// Splits `domain` into `parts` near-equal slabs along dimension 0,
+/// in order; parts beyond domain[0] get empty boxes.
+std::vector<Box> decompose_domain(const h5::Dims& domain, int parts);
+
+/// A distributed field: `ncomp` float32 components over local boxes of
+/// a global domain.  Cell values are deterministic functions of
+/// (component, global cell coordinate) so readers can verify plotfiles.
+class MultiFab {
+ public:
+  MultiFab(h5::Dims domain, int ncomp, std::vector<Box> local_boxes);
+
+  const h5::Dims& domain() const { return domain_; }
+  int ncomp() const { return ncomp_; }
+  const std::vector<Box>& boxes() const { return boxes_; }
+
+  /// Bytes this rank contributes to one plotfile.
+  std::uint64_t local_bytes() const;
+
+  /// Reference value of a cell (for fills and verification).
+  static float cell_value(int comp, std::uint64_t linear_cell_index);
+
+  /// Creates the plotfile group and its component datasets; call on
+  /// exactly one rank before any rank writes (metadata convention of
+  /// parallel HDF5).
+  static void create_plotfile(vol::Connector& connector, const std::string& group,
+                              const h5::Dims& domain, int ncomp);
+
+  /// Writes this rank's boxes of every component into the plotfile
+  /// group.  Appends the issued requests to `outstanding` (wait on them
+  /// — or connector.wait_all() — before relying on durability).
+  /// Returns the caller-visible blocking seconds.
+  double write_plotfile(vol::Connector& connector, const std::string& group,
+                        std::vector<vol::RequestPtr>& outstanding) const;
+
+  /// Reads this rank's boxes back and counts mismatching cells.
+  std::uint64_t verify_plotfile(vol::Connector& connector,
+                                const std::string& group) const;
+
+  /// Component dataset name ("comp0", ...).
+  static std::string component_name(int comp);
+
+ private:
+  h5::Dims domain_;
+  int ncomp_;
+  std::vector<Box> boxes_;
+  /// data_[b * ncomp + c] = packed row-major values of box b, comp c.
+  std::vector<std::vector<float>> data_;
+};
+
+}  // namespace apio::workloads

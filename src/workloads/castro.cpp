@@ -1,0 +1,101 @@
+#include "workloads/castro.h"
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "workloads/workload_common.h"
+
+namespace apio::workloads {
+
+CastroProxy::CastroProxy(CastroParams params) : params_(std::move(params)) {
+  APIO_REQUIRE(params_.domain.size() == 3, "Castro domains are 3-D");
+  APIO_REQUIRE(params_.particles_per_cell >= 0, "negative particles per cell");
+}
+
+std::string CastroProxy::checkpoint_name(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "chk%05d", index);
+  return buf;
+}
+
+std::uint64_t CastroProxy::checkpoint_bytes(const CastroParams& params) {
+  const std::uint64_t cells = h5::num_elements(params.domain);
+  const std::uint64_t field_bytes =
+      cells * static_cast<std::uint64_t>(params.ncomp) * sizeof(float);
+  const std::uint64_t particles =
+      cells * static_cast<std::uint64_t>(params.particles_per_cell);
+  const std::uint64_t particle_bytes =
+      particles * static_cast<std::uint64_t>(params.particle_props) * sizeof(float);
+  return field_bytes + particle_bytes;
+}
+
+CheckpointRunResult CastroProxy::run(vol::Connector& connector,
+                                     pmpi::Communicator& comm) const {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const auto boxes = decompose_domain(params_.domain, size);
+  MultiFab fab(params_.domain, params_.ncomp, {boxes[static_cast<std::size_t>(rank)]});
+
+  // Particle slab of this rank: particles proportional to its cells.
+  const std::uint64_t local_particles =
+      boxes[static_cast<std::size_t>(rank)].num_cells() *
+      static_cast<std::uint64_t>(params_.particles_per_cell);
+  const std::uint64_t total_particles = comm.allreduce_sum(local_particles);
+  const std::uint64_t particle_offset = comm.exscan_sum(local_particles);
+
+  std::vector<float> particle_buffer(local_particles);
+  const std::uint64_t local_bytes =
+      fab.local_bytes() + local_particles *
+                              static_cast<std::uint64_t>(params_.particle_props) *
+                              sizeof(float);
+
+  WallClock clock;
+  return run_checkpoint_app(
+      connector, comm, params_.schedule, local_bytes,
+      [&](int c) {
+        const std::string name = checkpoint_name(c);
+        MultiFab::create_plotfile(connector, name, params_.domain, params_.ncomp);
+        auto g = connector.file()->root().open_group(name).create_group("particles");
+        for (int p = 0; p < params_.particle_props; ++p) {
+          g.create_dataset("prop" + std::to_string(p), h5::Datatype::kFloat32,
+                           h5::Dims{total_particles});
+        }
+      },
+      [&](int c, std::vector<vol::RequestPtr>& outstanding) {
+        const double t0 = clock.now();
+        const std::string name = checkpoint_name(c);
+        double blocking = fab.write_plotfile(connector, name, outstanding);
+        if (local_particles > 0) {
+          auto g = connector.file()->root().open_group(name).open_group("particles");
+          const h5::Selection slab =
+              h5::Selection::offsets({particle_offset}, {local_particles});
+          for (int p = 0; p < params_.particle_props; ++p) {
+            for (std::uint64_t i = 0; i < local_particles; ++i) {
+              particle_buffer[i] = particle_value(particle_offset + i, p);
+            }
+            auto ds = g.open_dataset("prop" + std::to_string(p));
+            outstanding.push_back(connector.dataset_write(
+                ds, slab, std::as_bytes(std::span<const float>(particle_buffer))));
+          }
+        }
+        blocking = clock.now() - t0;
+        return blocking;
+      });
+}
+
+sim::RunConfig CastroProxy::sim_config(const sim::SystemSpec& spec, int nodes,
+                                       model::IoMode mode, const CastroParams& params,
+                                       double seconds_per_step) {
+  (void)spec;
+  sim::RunConfig config;
+  config.nodes = nodes;
+  config.mode = mode;
+  config.iterations = params.schedule.checkpoints;
+  config.compute_seconds = seconds_per_step * params.schedule.steps_per_checkpoint;
+  config.bytes_per_epoch = checkpoint_bytes(params);
+  config.io_kind = storage::IoKind::kWrite;
+  return config;
+}
+
+}  // namespace apio::workloads

@@ -1,0 +1,45 @@
+// Castro proxy: compressible-astrophysics simulation (Sec. IV-C) —
+// AMReX MultiFab with 6 components plus tracer particles (2 per cell),
+// checkpointed under strong scaling.  The particle output adds the
+// 1-D-dataset pattern to the 3-D field pattern, matching how Castro's
+// HDF5 plotfiles mix both.
+#pragma once
+
+#include "sim/epoch_sim.h"
+#include "workloads/amr.h"
+#include "workloads/checkpoint_app.h"
+
+namespace apio::workloads {
+
+struct CastroParams {
+  h5::Dims domain{128, 128, 128};
+  int ncomp = 6;            ///< the paper's "6 components in each multifab"
+  int particles_per_cell = 2;
+  int particle_props = 4;   ///< x, y, z, id
+  CheckpointSchedule schedule{/*checkpoints=*/3, /*steps_per_checkpoint=*/10,
+                              /*seconds_per_step=*/0.0};
+};
+
+class CastroProxy {
+ public:
+  explicit CastroProxy(CastroParams params);
+
+  CheckpointRunResult run(vol::Connector& connector, pmpi::Communicator& comm) const;
+
+  const CastroParams& params() const { return params_; }
+
+  /// Aggregate bytes per checkpoint (fields + particles).
+  static std::uint64_t checkpoint_bytes(const CastroParams& params);
+
+  static std::string checkpoint_name(int index);
+
+  /// Simulator configuration reproducing Fig. 4c/4d (strong scaling).
+  static sim::RunConfig sim_config(const sim::SystemSpec& spec, int nodes,
+                                   model::IoMode mode, const CastroParams& params,
+                                   double seconds_per_step = 2.0);
+
+ private:
+  CastroParams params_;
+};
+
+}  // namespace apio::workloads

@@ -1,0 +1,45 @@
+// Shared driver for checkpoint-based applications: N time steps of
+// computation between I/O phases, each I/O phase writing one plotfile
+// or checkpoint group (the structure of Nyx, Castro and EQSIM in
+// Sec. IV-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pmpi/world.h"
+#include "vol/connector.h"
+
+namespace apio::workloads {
+
+/// Epoch structure of a checkpointing application.
+struct CheckpointSchedule {
+  int checkpoints = 3;            ///< number of I/O phases
+  int steps_per_checkpoint = 20;  ///< time steps per compute phase
+  double seconds_per_step = 0.0;  ///< emulated compute per time step
+};
+
+/// Result of a real execution (identical on every rank).
+struct CheckpointRunResult {
+  std::vector<double> checkpoint_io_seconds;  ///< max over ranks per phase
+  std::uint64_t bytes_per_checkpoint = 0;     ///< aggregate over ranks
+  double total_seconds = 0.0;
+
+  double peak_bandwidth() const;
+  double mean_bandwidth() const;
+};
+
+/// Drives the epoch loop.  `create_meta(c)` runs on rank 0 before phase
+/// `c` (group/dataset creation); `write(c, outstanding)` runs on every
+/// rank and returns its blocking seconds.  The driver inserts barriers,
+/// reduces the phase time over ranks, drains requests at the end and
+/// broadcasts one consistent result.
+CheckpointRunResult run_checkpoint_app(
+    vol::Connector& connector, pmpi::Communicator& comm,
+    const CheckpointSchedule& schedule, std::uint64_t local_bytes_per_checkpoint,
+    const std::function<void(int)>& create_meta,
+    const std::function<double(int, std::vector<vol::RequestPtr>&)>& write);
+
+}  // namespace apio::workloads

@@ -1,0 +1,67 @@
+#include "workloads/nyx.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace apio::workloads {
+
+NyxParams NyxParams::small() {
+  NyxParams p;
+  p.domain = {256, 256, 256};
+  p.schedule.steps_per_checkpoint = 20;
+  return p;
+}
+
+NyxParams NyxParams::large() {
+  NyxParams p;
+  p.domain = {2048, 2048, 2048};
+  p.schedule.steps_per_checkpoint = 50;
+  p.gpu_resident = true;  // the paper runs the large config on Summit GPUs
+  return p;
+}
+
+NyxProxy::NyxProxy(NyxParams params) : params_(std::move(params)) {
+  APIO_REQUIRE(params_.domain.size() == 3, "Nyx domains are 3-D");
+  APIO_REQUIRE(params_.ncomp >= 1, "Nyx needs at least one component");
+}
+
+std::string NyxProxy::plotfile_name(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "plt%04d", index);
+  return buf;
+}
+
+CheckpointRunResult NyxProxy::run(vol::Connector& connector,
+                                  pmpi::Communicator& comm) const {
+  const auto boxes = decompose_domain(params_.domain, comm.size());
+  MultiFab fab(params_.domain, params_.ncomp,
+               {boxes[static_cast<std::size_t>(comm.rank())]});
+
+  return run_checkpoint_app(
+      connector, comm, params_.schedule, fab.local_bytes(),
+      [&](int c) {
+        MultiFab::create_plotfile(connector, plotfile_name(c), params_.domain,
+                                  params_.ncomp);
+      },
+      [&](int c, std::vector<vol::RequestPtr>& outstanding) {
+        return fab.write_plotfile(connector, plotfile_name(c), outstanding);
+      });
+}
+
+sim::RunConfig NyxProxy::sim_config(const sim::SystemSpec& spec, int nodes,
+                                    model::IoMode mode, const NyxParams& params,
+                                    double seconds_per_step) {
+  sim::RunConfig config;
+  config.nodes = nodes;
+  config.mode = mode;
+  config.iterations = params.schedule.checkpoints;
+  config.compute_seconds = seconds_per_step * params.schedule.steps_per_checkpoint;
+  config.bytes_per_epoch = h5::num_elements(params.domain) *
+                           static_cast<std::uint64_t>(params.ncomp) * sizeof(float);
+  config.io_kind = storage::IoKind::kWrite;
+  config.gpu_resident = params.gpu_resident && spec.has_gpus;
+  return config;
+}
+
+}  // namespace apio::workloads

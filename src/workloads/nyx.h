@@ -1,0 +1,50 @@
+// Nyx proxy: the adaptive-mesh cosmology simulation of Sec. IV-C,
+// reduced to its I/O-relevant structure — an AMReX-style MultiFab on a
+// uniform domain, a plotfile written every N time steps, strong
+// scaling (the domain does not grow with ranks).
+#pragma once
+
+#include "sim/epoch_sim.h"
+#include "workloads/amr.h"
+#include "workloads/checkpoint_app.h"
+
+namespace apio::workloads {
+
+struct NyxParams {
+  h5::Dims domain{256, 256, 256};
+  int ncomp = 6;  ///< density, velocities, temperature, phi, ...
+  CheckpointSchedule schedule{/*checkpoints=*/3, /*steps_per_checkpoint=*/20,
+                              /*seconds_per_step=*/0.0};
+  bool gpu_resident = false;
+
+  /// The paper's "small" configuration: 256^3, plotfile every 20 steps.
+  static NyxParams small();
+  /// The paper's "large" configuration: 2048^3, plotfile every 50 steps.
+  static NyxParams large();
+};
+
+class NyxProxy {
+ public:
+  explicit NyxProxy(NyxParams params);
+
+  /// Real execution: decomposes the domain across the ranks of `comm`
+  /// and writes plotfile groups "plt0000", "plt0001", ... through the
+  /// connector.
+  CheckpointRunResult run(vol::Connector& connector, pmpi::Communicator& comm) const;
+
+  const NyxParams& params() const { return params_; }
+
+  static std::string plotfile_name(int index);
+
+  /// Simulator configuration reproducing Fig. 4a (Summit, large) and
+  /// Fig. 4b (Cori, small).  `seconds_per_step` controls the compute
+  /// phase, swept by the Fig. 7 overlap study.
+  static sim::RunConfig sim_config(const sim::SystemSpec& spec, int nodes,
+                                   model::IoMode mode, const NyxParams& params,
+                                   double seconds_per_step = 2.0);
+
+ private:
+  NyxParams params_;
+};
+
+}  // namespace apio::workloads

@@ -1,0 +1,99 @@
+#include "workloads/two_phase.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace apio::workloads {
+namespace {
+
+constexpr int kTagHeader = -2000001;
+constexpr int kTagPayload = -2000002;
+
+int aggregator_of(int rank, int size, int num_aggregators) {
+  // Contiguous groups: aggregator g serves ranks [g*size/A, (g+1)*size/A).
+  const int group = rank * num_aggregators / size;
+  // The aggregator is the first rank of the group.
+  return group * size / num_aggregators +
+         (group * size % num_aggregators != 0 ? 1 : 0);
+}
+
+}  // namespace
+
+TwoPhaseResult two_phase_write(vol::Connector& connector, pmpi::Communicator& comm,
+                               h5::Dataset ds, std::uint64_t elem_offset,
+                               std::span<const std::byte> data, int num_aggregators) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  APIO_REQUIRE(num_aggregators >= 1 && num_aggregators <= size,
+               "aggregator count must be in [1, comm size]");
+  const std::size_t elsize = ds.element_size();
+  APIO_REQUIRE(data.size() % elsize == 0,
+               "two_phase_write data must be whole elements");
+  WallClock clock;
+  const double t0 = clock.now();
+
+  const int my_aggregator = aggregator_of(rank, size, num_aggregators);
+  const bool i_aggregate = rank == my_aggregator;
+
+  // Phase 1: ship (offset, payload) to the aggregator.  Sends are
+  // buffered, so aggregators may also send to themselves.
+  const std::vector<std::uint64_t> header{elem_offset, data.size()};
+  comm.send<std::uint64_t>(header, my_aggregator, kTagHeader);
+  comm.send_bytes(data, my_aggregator, kTagPayload);
+
+  std::uint64_t local_requests = 0;
+  if (i_aggregate) {
+    struct Piece {
+      std::uint64_t elem_offset;
+      std::vector<std::byte> bytes;
+    };
+    std::vector<Piece> pieces;
+    for (int r = 0; r < size; ++r) {
+      if (aggregator_of(r, size, num_aggregators) != rank) continue;
+      auto h = comm.recv<std::uint64_t>(r, kTagHeader);
+      APIO_ASSERT(h.size() == 2, "two-phase header corrupt");
+      Piece piece;
+      piece.elem_offset = h[0];
+      piece.bytes = comm.recv_bytes(r, kTagPayload);
+      APIO_ASSERT(piece.bytes.size() == h[1], "two-phase payload size mismatch");
+      pieces.push_back(std::move(piece));
+    }
+    std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+      return a.elem_offset < b.elem_offset;
+    });
+
+    // Phase 2: merge adjacent extents and issue large writes.
+    std::vector<vol::RequestPtr> outstanding;
+    std::size_t i = 0;
+    while (i < pieces.size()) {
+      std::uint64_t run_start = pieces[i].elem_offset;
+      std::vector<std::byte> merged = std::move(pieces[i].bytes);
+      std::size_t j = i + 1;
+      while (j < pieces.size() &&
+             pieces[j].elem_offset ==
+                 run_start + merged.size() / elsize) {
+        merged.insert(merged.end(), pieces[j].bytes.begin(), pieces[j].bytes.end());
+        ++j;
+      }
+      outstanding.push_back(connector.dataset_write(
+          ds, h5::Selection::offsets({run_start}, {merged.size() / elsize}),
+          merged));
+      ++local_requests;
+      i = j;
+    }
+    for (auto& req : outstanding) req->wait();
+  }
+
+  const double blocking = clock.now() - t0;
+  comm.barrier();
+
+  TwoPhaseResult result;
+  result.blocking_seconds = comm.allreduce_max(blocking);
+  result.requests_issued = comm.allreduce_sum(local_requests);
+  result.total_bytes = comm.allreduce_sum(static_cast<std::uint64_t>(data.size()));
+  return result;
+}
+
+}  // namespace apio::workloads

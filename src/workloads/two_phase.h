@@ -1,0 +1,41 @@
+// Two-phase collective write (MPI-IO "collective buffering").
+//
+// Small per-rank requests waste PFS efficiency (the per-rank knee in
+// storage::PfsModel, and per-request latency on real file systems).
+// Two-phase I/O routes every rank's slab to a few aggregator ranks,
+// which merge adjacent pieces and issue large contiguous writes — the
+// optimisation ROMIO performs under collective MPI_File_write_all.
+// This helper implements it for 1-D datasets over pmpi + any VOL
+// connector, and is ablated against direct per-rank writes in
+// bench/ablation_two_phase.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "h5/file.h"
+#include "pmpi/world.h"
+#include "vol/connector.h"
+
+namespace apio::workloads {
+
+struct TwoPhaseResult {
+  /// Caller-visible blocking time, max over ranks.
+  double blocking_seconds = 0.0;
+  /// Number of write requests the aggregators issued (after merging).
+  std::uint64_t requests_issued = 0;
+  /// Bytes this collective moved in total.
+  std::uint64_t total_bytes = 0;
+};
+
+/// Collective: every rank of `comm` must call with its own slab of the
+/// shared 1-D dataset (`elem_offset` in elements, `data` a whole number
+/// of elements).  Ranks are partitioned into `num_aggregators`
+/// contiguous groups; each aggregator gathers its group's pieces,
+/// merges adjacent extents and writes them through `connector`.
+/// Returns identical results on every rank.
+TwoPhaseResult two_phase_write(vol::Connector& connector, pmpi::Communicator& comm,
+                               h5::Dataset ds, std::uint64_t elem_offset,
+                               std::span<const std::byte> data, int num_aggregators);
+
+}  // namespace apio::workloads

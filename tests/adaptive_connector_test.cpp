@@ -1,0 +1,176 @@
+// Tests for the adaptive connector: exploration, routing, correctness
+// under mode switches, and convergence to the oracle-best mode.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "common/units.h"
+#include "storage/memory_backend.h"
+#include "storage/throttled_backend.h"
+#include "vol/adaptive_connector.h"
+
+namespace apio::vol {
+namespace {
+
+storage::BackendPtr slow_pfs(double bandwidth) {
+  storage::ThrottleParams params;
+  params.bandwidth = bandwidth;
+  params.time_scale = 1.0;
+  return std::make_shared<storage::ThrottledBackend>(
+      std::make_shared<storage::MemoryBackend>(), params);
+}
+
+TEST(AdaptiveConnectorTest, DataCorrectAcrossModeSwitches) {
+  auto file = h5::File::create(std::make_shared<storage::MemoryBackend>());
+  AdaptiveConnector connector(file);
+  auto ds = file->root().create_dataset("d", h5::Datatype::kInt32, {256});
+
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    connector.on_compute_phase(0.001 * (epoch % 4));
+    std::vector<std::int32_t> values(16);
+    std::iota(values.begin(), values.end(), epoch * 16);
+    connector
+        .dataset_write(
+            ds, h5::Selection::offsets({static_cast<std::uint64_t>(epoch) * 16}, {16}),
+            std::as_bytes(std::span<const std::int32_t>(values)))
+        ->wait();
+  }
+  connector.wait_all();
+  auto all = ds.read_vector<std::int32_t>(h5::Selection::all());
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(all[i], i);
+  connector.close();
+}
+
+TEST(AdaptiveConnectorTest, ExploresBothModes) {
+  auto file = h5::File::create(std::make_shared<storage::MemoryBackend>());
+  AdaptiveConnector connector(file);
+  auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {64 * 1024});
+  std::vector<std::uint8_t> chunk(4 * 1024, 1);
+  for (int i = 0; i < 16; ++i) {
+    connector.on_compute_phase(0.001);
+    connector.dataset_write(
+        ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * chunk.size()},
+                                   {chunk.size()}),
+        std::as_bytes(std::span<const std::uint8_t>(chunk)));
+  }
+  connector.wait_all();
+  const auto stats = connector.adaptive_stats();
+  EXPECT_GT(stats.writes_sync, 0u);   // sync baseline explored first
+  EXPECT_GT(stats.writes_async, 0u);  // then async
+  connector.close();
+}
+
+TEST(AdaptiveConnectorTest, ConvergesToAsyncWhenComputeCoversIo) {
+  // Slow PFS, ample compute: after exploration every write must route
+  // async.
+  auto file = h5::File::create(slow_pfs(16.0 * kMiB));
+  AdaptiveConnector connector(file);
+  auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {32u * 256 * 1024});
+  std::vector<std::uint8_t> chunk(256 * 1024, 1);
+
+  model::IoMode last_mode = model::IoMode::kSync;
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    connector.on_compute_phase(0.040);
+    last_mode = connector.planned_mode(chunk.size());
+    connector.dataset_write(
+        ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * chunk.size()},
+                                   {chunk.size()}),
+        std::as_bytes(std::span<const std::uint8_t>(chunk)));
+  }
+  connector.wait_all();
+  EXPECT_EQ(last_mode, model::IoMode::kAsync);
+  EXPECT_GE(connector.adaptive_stats().writes_async, 5u);
+  connector.close();
+}
+
+TEST(AdaptiveConnectorTest, FallsBackToSyncWhenNothingToOverlap) {
+  // Fast storage, negligible compute: staging is pure overhead and the
+  // advisor must settle on sync.
+  auto file = h5::File::create(std::make_shared<storage::MemoryBackend>());
+  AdaptiveConnector connector(file);
+  auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {64u << 20});
+  std::vector<std::uint8_t> chunk(2 << 20, 1);  // 2 MiB: memcpy cost visible
+
+  model::IoMode last_mode = model::IoMode::kAsync;
+  for (int i = 0; i < 12; ++i) {
+    connector.on_compute_phase(1e-6);
+    last_mode = connector.planned_mode(chunk.size());
+    connector
+        .dataset_write(
+            ds,
+            h5::Selection::offsets({static_cast<std::uint64_t>(i) * chunk.size()},
+                                   {chunk.size()}),
+            std::as_bytes(std::span<const std::uint8_t>(chunk)))
+        ->wait();
+  }
+  connector.wait_all();
+  EXPECT_EQ(last_mode, model::IoMode::kSync);
+  connector.close();
+}
+
+TEST(AdaptiveConnectorTest, PrefetchedReadsServeFromCache) {
+  auto file = h5::File::create(std::make_shared<storage::MemoryBackend>());
+  AdaptiveConnector connector(file);
+  auto ds = file->root().create_dataset("d", h5::Datatype::kInt32, {64});
+  std::vector<std::int32_t> values(64);
+  std::iota(values.begin(), values.end(), 0);
+  connector.dataset_write(ds, h5::Selection::all(),
+                          std::as_bytes(std::span<const std::int32_t>(values)));
+  connector.wait_all();
+
+  connector.prefetch(ds, h5::Selection::all());
+  connector.wait_all();
+  // Teach the advisor that compute exists so reads may route async.
+  for (int i = 0; i < 4; ++i) connector.on_compute_phase(0.5);
+
+  std::vector<std::int32_t> out(64);
+  connector.dataset_read(ds, h5::Selection::all(),
+                         std::as_writable_bytes(std::span<std::int32_t>(out)));
+  EXPECT_EQ(out, values);
+  connector.close();
+}
+
+TEST(AdaptiveConnectorTest, SharedAdvisorStartsWarm) {
+  // A pre-trained advisor (e.g. restored via save_state) skips the
+  // exploration phase entirely.
+  auto advisor = std::make_shared<model::ModeAdvisor>();
+  for (int i = 1; i <= 6; ++i) {
+    vol::IoRecord sync_rec;
+    sync_rec.bytes = static_cast<std::uint64_t>(i) * 100000;
+    sync_rec.ranks = 1;
+    sync_rec.blocking_seconds = static_cast<double>(sync_rec.bytes) / 1e7;  // slow PFS
+    sync_rec.completion_seconds = sync_rec.blocking_seconds;
+    sync_rec.async = false;
+    advisor->on_io(sync_rec);
+    auto async_rec = sync_rec;
+    async_rec.blocking_seconds = static_cast<double>(sync_rec.bytes) / 1e10;
+    async_rec.async = true;
+    advisor->on_io(async_rec);
+  }
+  advisor->record_compute(1.0);
+
+  auto file = h5::File::create(std::make_shared<storage::MemoryBackend>());
+  AdaptiveConnector connector(file, advisor);
+  EXPECT_EQ(connector.planned_mode(500000), model::IoMode::kAsync);
+  connector.close();
+}
+
+TEST(AdaptiveConnectorTest, FlushDrainsAsyncQueueFirst) {
+  auto file = h5::File::create(std::make_shared<storage::MemoryBackend>());
+  AdaptiveConnector connector(file);
+  auto ds = file->root().create_dataset("d", h5::Datatype::kInt32, {4});
+  const std::vector<std::int32_t> values{1, 2, 3, 4};
+  connector.dataset_write(ds, h5::Selection::all(),
+                          std::as_bytes(std::span<const std::int32_t>(values)));
+  auto req = connector.flush();
+  req->wait();
+  // After flush the data is durable in the (memory) backend via the
+  // reopened view.
+  EXPECT_EQ(ds.read_vector<std::int32_t>(h5::Selection::all()), values);
+  connector.close();
+}
+
+}  // namespace
+}  // namespace apio::vol

@@ -1,0 +1,123 @@
+// Parallel-access tests: many pmpi ranks writing disjoint hyperslabs
+// of shared datasets in one container — the MPI-IO-style contract the
+// paper's kernels rely on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "h5/file.h"
+#include "pmpi/world.h"
+#include "storage/memory_backend.h"
+
+namespace apio::h5 {
+namespace {
+
+TEST(ParallelH5Test, RanksWriteDisjointSlabsOfOneDataset) {
+  constexpr int kRanks = 8;
+  constexpr std::uint64_t kPerRank = 1000;
+  auto file = File::create(std::make_shared<storage::MemoryBackend>());
+  auto ds = file->root().create_dataset("shared", Datatype::kInt64,
+                                        {kPerRank * kRanks});
+
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(comm.rank()) * kPerRank;
+    std::vector<std::int64_t> values(kPerRank);
+    std::iota(values.begin(), values.end(), static_cast<std::int64_t>(offset));
+    ds.write<std::int64_t>(Selection::offsets({offset}, {kPerRank}), values);
+    comm.barrier();
+  });
+
+  auto all = ds.read_vector<std::int64_t>(Selection::all());
+  for (std::uint64_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(ParallelH5Test, RankZeroCreatesOthersOpen) {
+  constexpr int kRanks = 4;
+  auto file = File::create(std::make_shared<storage::MemoryBackend>());
+
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto g = file->root().create_group("step");
+      g.create_dataset("data", Datatype::kFloat32, {64});
+    }
+    comm.barrier();
+    auto ds = file->root().open_group("step").open_dataset("data");
+    const std::uint64_t per = 64 / kRanks;
+    std::vector<float> values(per, static_cast<float>(comm.rank()));
+    ds.write<float>(
+        Selection::offsets({static_cast<std::uint64_t>(comm.rank()) * per}, {per}),
+        values);
+    comm.barrier();
+  });
+
+  auto ds = file->root().open_group("step").open_dataset("data");
+  auto all = ds.read_vector<float>(Selection::all());
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(all[static_cast<std::size_t>(r) * 16], static_cast<float>(r));
+  }
+}
+
+TEST(ParallelH5Test, ConcurrentMetadataCreationIsSerialized) {
+  constexpr int kRanks = 8;
+  auto file = File::create(std::make_shared<storage::MemoryBackend>());
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    // Each rank creates its own group + dataset concurrently.
+    auto g = file->root().create_group("rank" + std::to_string(comm.rank()));
+    auto ds = g.create_dataset("d", Datatype::kInt32, {1});
+    const std::vector<std::int32_t> v{comm.rank()};
+    ds.write<std::int32_t>(Selection::all(), v);
+  });
+  EXPECT_EQ(file->root().group_names().size(), static_cast<std::size_t>(kRanks));
+  for (int r = 0; r < kRanks; ++r) {
+    auto v = file->root()
+                 .open_group("rank" + std::to_string(r))
+                 .open_dataset("d")
+                 .read_vector<std::int32_t>(Selection::all());
+    EXPECT_EQ(v[0], r);
+  }
+}
+
+TEST(ParallelH5Test, ChunkedDatasetParallelWriters) {
+  constexpr int kRanks = 6;
+  constexpr std::uint64_t kPerRank = 128;
+  auto file = File::create(std::make_shared<storage::MemoryBackend>());
+  auto ds = file->root().create_dataset("chunked", Datatype::kInt32,
+                                        {kPerRank * kRanks},
+                                        DatasetCreateProps::chunked({100}));
+
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(comm.rank()) * kPerRank;
+    std::vector<std::int32_t> values(kPerRank);
+    std::iota(values.begin(), values.end(), static_cast<std::int32_t>(offset));
+    ds.write<std::int32_t>(Selection::offsets({offset}, {kPerRank}), values);
+  });
+
+  auto all = ds.read_vector<std::int32_t>(Selection::all());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(ParallelH5Test, RoundTripSurvivesReopenAfterParallelWrite) {
+  constexpr int kRanks = 4;
+  auto backend = std::make_shared<storage::MemoryBackend>();
+  {
+    auto file = File::create(backend);
+    auto ds = file->root().create_dataset("d", Datatype::kFloat64, {400});
+    pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+      const std::uint64_t offset = static_cast<std::uint64_t>(comm.rank()) * 100;
+      std::vector<double> values(100, static_cast<double>(comm.rank()) + 0.5);
+      ds.write<double>(Selection::offsets({offset}, {100}), values);
+    });
+    file->close();
+  }
+  auto file = File::open(backend);
+  auto all = file->root().open_dataset("d").read_vector<double>(Selection::all());
+  EXPECT_DOUBLE_EQ(all[0], 0.5);
+  EXPECT_DOUBLE_EQ(all[399], 3.5);
+}
+
+}  // namespace
+}  // namespace apio::h5

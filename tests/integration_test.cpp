@@ -1,0 +1,277 @@
+// Cross-module integration tests: the model feedback loop attached to
+// real connectors over throttled storage, advisor-vs-oracle decisions,
+// model accuracy over simulated scaling sweeps, and consistency between
+// the real async connector and the epoch simulator's pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "model/advisor.h"
+#include "sim/epoch_sim.h"
+#include "storage/memory_backend.h"
+#include "storage/throttled_backend.h"
+#include "vol/async_connector.h"
+#include "vol/native_connector.h"
+#include "workloads/vpic_io.h"
+
+namespace apio {
+namespace {
+
+using model::IoMode;
+
+storage::BackendPtr slow_backend(double bandwidth, double latency = 0.0) {
+  storage::ThrottleParams params;
+  params.bandwidth = bandwidth;
+  params.latency = latency;
+  params.time_scale = 1.0;
+  return std::make_shared<storage::ThrottledBackend>(
+      std::make_shared<storage::MemoryBackend>(), params);
+}
+
+TEST(FeedbackLoopTest, AdvisorLearnsFromRealConnectors) {
+  // A slow "PFS" (8 MiB/s) and fast staging: after observing both
+  // modes, the advisor must recommend async when compute is ample and
+  // sync when there is nothing to overlap with.
+  auto advisor = std::make_shared<model::ModeAdvisor>();
+
+  const std::uint64_t chunk = 256 * kKiB;
+  std::vector<std::uint8_t> data(chunk, 1);
+
+  {
+    auto file = h5::File::create(slow_backend(8.0 * kMiB));
+    vol::NativeConnector sync_conn(file);
+    sync_conn.set_observer(advisor);
+    auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {chunk * 8});
+    for (int i = 0; i < 4; ++i) {
+      sync_conn.dataset_write(
+          ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * chunk}, {chunk}),
+          std::as_bytes(std::span<const std::uint8_t>(data)));
+    }
+  }
+  {
+    auto file = h5::File::create(slow_backend(8.0 * kMiB));
+    vol::AsyncConnector async_conn(file);
+    async_conn.set_observer(advisor);
+    auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {chunk * 8});
+    for (int i = 0; i < 4; ++i) {
+      async_conn.dataset_write(
+          ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * chunk}, {chunk}),
+          std::as_bytes(std::span<const std::uint8_t>(data)));
+      async_conn.wait_all();  // keep queue short; we only need timing samples
+    }
+    async_conn.close();
+  }
+
+  ASSERT_TRUE(advisor->sync_ready());
+  ASSERT_TRUE(advisor->async_ready());
+
+  // The staging copy must be far faster than the throttled PFS.
+  EXPECT_LT(advisor->estimate_transact_seconds(chunk, 1),
+            0.5 * advisor->estimate_io_seconds(chunk, 1));
+
+  advisor->record_compute(1.0);  // compute dwarfs both
+  EXPECT_EQ(advisor->recommend(chunk, 1), IoMode::kAsync);
+
+  // Recreate the compute estimator regime: negligible compute phases.
+  auto cold = std::make_shared<model::ModeAdvisor>();
+  for (const auto& s : advisor->history().all()) {
+    vol::IoRecord r;
+    r.op = s.op;
+    r.bytes = s.data_size;
+    r.ranks = s.ranks;
+    r.blocking_seconds = static_cast<double>(s.data_size) / s.io_rate;
+    r.completion_seconds = r.blocking_seconds;
+    r.async = s.async;
+    cold->on_io(r);
+  }
+  cold->record_compute(1e-6);
+  // With ~zero compute, async cannot amortise the staging copy of an
+  // epoch whose I/O it can't overlap with anything.
+  const auto costs = cold->predict_epoch(chunk, 1);
+  EXPECT_EQ(cold->recommend(chunk, 1),
+            model::async_is_beneficial(costs) ? IoMode::kAsync : IoMode::kSync);
+}
+
+TEST(FeedbackLoopTest, SimulatorFeedsAdvisorFig2Loop) {
+  // Run a weak-scaling sweep in the simulator with the advisor attached
+  // as the Fig. 2 observer; the fitted model must then predict held-out
+  // configurations accurately (the dotted lines of Fig. 3).
+  const auto spec = sim::SystemSpec::summit();
+  sim::EpochSimulator simulator(spec);
+  auto advisor = std::make_shared<model::ModeAdvisor>();
+
+  auto run_nodes = [&](int nodes, IoMode mode) {
+    auto config = workloads::VpicIoKernel::sim_config(spec, nodes, mode);
+    config.contention_sigma_override = 0.0;
+    config.observer = advisor.get();
+    return simulator.run(config);
+  };
+
+  for (int nodes : {2, 4, 8, 16, 32, 64}) {
+    run_nodes(nodes, IoMode::kSync);
+    run_nodes(nodes, IoMode::kAsync);
+  }
+
+  EXPECT_GT(advisor->sync_r_squared(), 0.80);   // paper: above 80 %
+  EXPECT_GT(advisor->async_r_squared(), 0.90);  // paper: above 90 %
+
+  // Held-out prediction at 128 nodes within 2x of the simulated truth
+  // (log-scale figures; the paper's fits are trend fits, not exact).
+  const int nodes = 128;
+  const auto truth = run_nodes(nodes, IoMode::kSync);
+  // The sim was just observed at 128 nodes too — rebuild an advisor
+  // without those samples for a clean holdout.
+  auto holdout = std::make_shared<model::ModeAdvisor>();
+  for (const auto& s : advisor->history().all()) {
+    if (s.ranks == nodes * 6) continue;
+    vol::IoRecord r;
+    r.op = s.op;
+    r.bytes = s.data_size;
+    r.ranks = s.ranks;
+    r.blocking_seconds = static_cast<double>(s.data_size) / s.io_rate;
+    r.completion_seconds = r.blocking_seconds;
+    r.async = s.async;
+    holdout->on_io(r);
+  }
+  const std::uint64_t bytes =
+      workloads::VpicIoKernel::sim_config(spec, nodes, IoMode::kSync).bytes_per_epoch;
+  const double predicted = holdout->estimate_io_seconds(bytes, nodes * 6);
+  const double actual = truth.epochs.front().io_blocking_seconds;
+  EXPECT_LT(std::fabs(std::log(predicted / actual)), std::log(2.0));
+}
+
+TEST(ConsistencyTest, RealAsyncConnectorMatchesSimulatorPipelineShape) {
+  // The real connector on a throttled backend and the simulator's async
+  // pipeline must agree qualitatively: caller-visible blocking is a
+  // small fraction of the end-to-end completion when compute covers the
+  // background transfer.
+  const std::uint64_t bytes = 1ull * kMiB;
+  auto file = h5::File::create(slow_backend(8.0 * kMiB));
+  vol::AsyncConnector conn(file);
+
+  class Capture : public vol::IoObserver {
+   public:
+    void on_io(const vol::IoRecord& r) override {
+      std::lock_guard<std::mutex> lock(m);
+      records.push_back(r);
+    }
+    std::mutex m;
+    std::vector<vol::IoRecord> records;
+  };
+  auto capture = std::make_shared<Capture>();
+  conn.set_observer(capture);
+
+  auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {bytes});
+  std::vector<std::uint8_t> data(bytes, 3);
+  conn.dataset_write(ds, h5::Selection::all(),
+                     std::as_bytes(std::span<const std::uint8_t>(data)));
+  conn.wait_all();
+  conn.close();
+
+  ASSERT_EQ(capture->records.size(), 1u);
+  const auto& r = capture->records[0];
+  // Blocking (staging memcpy) should be well under the ~0.125 s
+  // background transfer of 1 MiB at 8 MiB/s.
+  EXPECT_LT(r.blocking_seconds, 0.3 * r.completion_seconds);
+}
+
+TEST(ConsistencyTest, ThroughputGainMatchesEpochAlgebra) {
+  // Execute the same epoch loop (compute + write) through both real
+  // connectors and verify Eq. 2a/2b predicts the winner.
+  const std::uint64_t bytes = 512 * kKiB;
+  const double compute = 0.08;
+  const double pfs_bw = 4.0 * kMiB;
+  const int iterations = 4;
+
+  auto run_mode = [&](bool async) {
+    auto file = h5::File::create(slow_backend(pfs_bw));
+    std::shared_ptr<vol::Connector> conn;
+    if (async) conn = std::make_shared<vol::AsyncConnector>(file);
+    else conn = std::make_shared<vol::NativeConnector>(file);
+    auto ds = file->root().create_dataset(
+        "d", h5::Datatype::kUInt8,
+        {bytes * static_cast<std::uint64_t>(iterations)});
+    std::vector<std::uint8_t> data(bytes, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(compute));
+      conn->dataset_write(
+          ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * bytes}, {bytes}),
+          std::as_bytes(std::span<const std::uint8_t>(data)));
+    }
+    conn->wait_all();
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    conn->close();
+    return total;
+  };
+
+  const double sync_total = run_mode(false);
+  const double async_total = run_mode(true);
+  // I/O per epoch is ~0.125 s vs 0.08 s compute: partial overlap, but
+  // async must still beat sync clearly (staging is a memcpy).
+  EXPECT_LT(async_total, 0.9 * sync_total);
+}
+
+TEST(ModelAccuracyTest, LinearLogBeatsLinearForSaturatingSyncWrites) {
+  // The paper chose linear-log for the sync write trend; our auto-form
+  // selection should reach the same conclusion on a saturating sweep.
+  const auto spec = sim::SystemSpec::cori_haswell();
+  sim::EpochSimulator simulator(spec);
+  std::vector<model::IoSample> samples;
+  for (int nodes = 1; nodes <= 256; nodes *= 2) {
+    auto config = workloads::VpicIoKernel::sim_config(spec, nodes, IoMode::kSync);
+    config.contention_sigma_override = 0.0;
+    const auto result = simulator.run(config);
+    model::IoSample s;
+    s.data_size = config.bytes_per_epoch;
+    s.ranks = result.ranks;
+    s.io_rate = result.peak_bandwidth();
+    s.async = false;
+    s.op = vol::IoOp::kWrite;
+    samples.push_back(s);
+  }
+  model::IoRateEstimator linear(model::FeatureForm::kLinear);
+  linear.refit(samples);
+  model::IoRateEstimator autoform(model::FeatureForm::kLinear);
+  autoform.set_auto_form(true);
+  autoform.refit(samples);
+  ASSERT_TRUE(linear.ready());
+  ASSERT_TRUE(autoform.ready());
+  EXPECT_EQ(autoform.form(), model::FeatureForm::kLinearLog);
+  EXPECT_GE(autoform.r_squared(), linear.r_squared());
+  EXPECT_GT(autoform.r_squared(), 0.8);
+}
+
+TEST(EndToEndTest, VpicThroughThrottledPfsShowsAsyncBandwidthAdvantage) {
+  // Miniature Fig. 3: the same VPIC write kernel, sync vs async
+  // connector, over the same throttled "PFS"; async must report much
+  // higher aggregate bandwidth because only the staging copy blocks.
+  constexpr int kRanks = 2;
+  workloads::VpicParams params;
+  params.particles_per_rank = 16 * 1024;  // 512 KiB/rank/step
+  params.time_steps = 2;
+  const double pfs_bw = 32.0 * kMiB;
+
+  auto run_mode = [&](bool async) {
+    auto file = h5::File::create(slow_backend(pfs_bw));
+    std::shared_ptr<vol::Connector> conn;
+    if (async) conn = std::make_shared<vol::AsyncConnector>(file);
+    else conn = std::make_shared<vol::NativeConnector>(file);
+    workloads::VpicRunResult result;
+    pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+      auto r = workloads::VpicIoKernel(params).run(*conn, comm);
+      if (comm.rank() == 0) result = r;
+    });
+    conn->close();
+    return result.peak_bandwidth();
+  };
+
+  const double sync_bw = run_mode(false);
+  const double async_bw = run_mode(true);
+  EXPECT_GT(async_bw, 2.0 * sync_bw);
+}
+
+}  // namespace
+}  // namespace apio

@@ -1,0 +1,143 @@
+// Tests for the epoch algebra of Sec. III-A (Eq. 1, 2a, 2b) and the
+// Fig. 1 scenario classification.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/epoch_model.h"
+
+namespace apio::model {
+namespace {
+
+TEST(EpochModelTest, SyncEpochIsSum) {
+  EpochCosts c{.t_comp = 3.0, .t_io = 2.0, .t_transact = 0.5};
+  EXPECT_DOUBLE_EQ(sync_epoch_seconds(c), 5.0);
+}
+
+TEST(EpochModelTest, AsyncEpochFullOverlap) {
+  // t_comp >= t_io: epoch = t_comp + overhead (Fig. 1a).
+  EpochCosts c{.t_comp = 5.0, .t_io = 2.0, .t_transact = 0.3};
+  EXPECT_DOUBLE_EQ(async_epoch_seconds(c), 5.3);
+}
+
+TEST(EpochModelTest, AsyncEpochPartialOverlap) {
+  // t_io > 2*t_comp: the io remainder dominates (Fig. 1b).
+  EpochCosts c{.t_comp = 1.0, .t_io = 5.0, .t_transact = 0.3};
+  EXPECT_DOUBLE_EQ(async_epoch_seconds(c), 4.3);  // max(1, 5-1) + 0.3
+}
+
+TEST(EpochModelTest, EpochSecondsDispatchesOnMode) {
+  EpochCosts c{.t_comp = 2.0, .t_io = 2.0, .t_transact = 0.1};
+  EXPECT_DOUBLE_EQ(epoch_seconds(c, IoMode::kSync), sync_epoch_seconds(c));
+  EXPECT_DOUBLE_EQ(epoch_seconds(c, IoMode::kAsync), async_epoch_seconds(c));
+}
+
+TEST(EpochModelTest, SpeedupIdealCase) {
+  EpochCosts c{.t_comp = 10.0, .t_io = 10.0, .t_transact = 0.1};
+  // sync 20, async 10.1.
+  EXPECT_NEAR(async_speedup(c), 20.0 / 10.1, 1e-12);
+}
+
+TEST(EpochModelTest, ScenarioIdeal) {
+  EpochCosts c{.t_comp = 4.0, .t_io = 2.0, .t_transact = 0.2};
+  EXPECT_EQ(classify_overlap(c), OverlapScenario::kIdeal);
+  EXPECT_TRUE(async_is_beneficial(c));
+}
+
+TEST(EpochModelTest, ScenarioPartial) {
+  EpochCosts c{.t_comp = 2.0, .t_io = 5.0, .t_transact = 0.2};
+  // sync 7.0, async max(2,3)+0.2 = 3.2: beneficial but not fully hidden.
+  EXPECT_EQ(classify_overlap(c), OverlapScenario::kPartial);
+}
+
+TEST(EpochModelTest, ScenarioSlowdownWhenOverheadDominates) {
+  // The paper's Fig. 1c condition: t_comp <= t_transact makes async a
+  // net loss when there is little I/O to hide.
+  EpochCosts c{.t_comp = 0.1, .t_io = 0.05, .t_transact = 0.2};
+  // sync 0.15, async max(0.1, -0.05) + 0.2 = 0.3.
+  EXPECT_EQ(classify_overlap(c), OverlapScenario::kSlowdown);
+  EXPECT_FALSE(async_is_beneficial(c));
+}
+
+TEST(EpochModelTest, BreakEvenBoundary) {
+  // sync = t_io + t_comp = 2.0; async = max(1, 0) + 1.0 = 2.0: not a win.
+  EpochCosts c{.t_comp = 1.0, .t_io = 1.0, .t_transact = 1.0};
+  EXPECT_FALSE(async_is_beneficial(c));
+  // Slightly cheaper staging flips the decision.
+  c.t_transact = 0.99;
+  EXPECT_TRUE(async_is_beneficial(c));
+}
+
+TEST(EpochModelTest, ZeroIoMakesAsyncPureOverhead) {
+  EpochCosts c{.t_comp = 1.0, .t_io = 0.0, .t_transact = 0.1};
+  EXPECT_DOUBLE_EQ(sync_epoch_seconds(c), 1.0);
+  EXPECT_DOUBLE_EQ(async_epoch_seconds(c), 1.1);
+  EXPECT_EQ(classify_overlap(c), OverlapScenario::kSlowdown);
+}
+
+TEST(EpochModelTest, AppSecondsEq1) {
+  AppSchedule schedule;
+  schedule.t_init = 2.0;
+  schedule.t_term = 1.0;
+  schedule.iterations = 10;
+  schedule.epoch = {.t_comp = 3.0, .t_io = 2.0, .t_transact = 0.5};
+  EXPECT_DOUBLE_EQ(app_seconds(schedule, IoMode::kSync), 2.0 + 1.0 + 10 * 5.0);
+  EXPECT_DOUBLE_EQ(app_seconds(schedule, IoMode::kAsync), 2.0 + 1.0 + 10 * 3.5);
+}
+
+TEST(EpochModelTest, AppSecondsZeroIterations) {
+  AppSchedule schedule;
+  schedule.t_init = 1.0;
+  schedule.t_term = 0.5;
+  schedule.iterations = 0;
+  EXPECT_DOUBLE_EQ(app_seconds(schedule, IoMode::kSync), 1.5);
+}
+
+TEST(EpochModelTest, NegativeIterationsRejected) {
+  AppSchedule schedule;
+  schedule.iterations = -1;
+  EXPECT_THROW(app_seconds(schedule, IoMode::kSync), InvalidArgumentError);
+}
+
+TEST(EpochModelTest, ToStringNames) {
+  EXPECT_EQ(to_string(IoMode::kSync), "sync");
+  EXPECT_EQ(to_string(IoMode::kAsync), "async");
+  EXPECT_EQ(to_string(OverlapScenario::kIdeal), "ideal");
+  EXPECT_EQ(to_string(OverlapScenario::kPartial), "partial");
+  EXPECT_EQ(to_string(OverlapScenario::kSlowdown), "slowdown");
+}
+
+// Property sweep over the (t_comp, t_io, t_transact) space: async wins
+// exactly when Eq. 2b < Eq. 2a, and classification is consistent.
+struct CostCase {
+  double comp, io, transact;
+};
+
+class EpochPropertyTest : public ::testing::TestWithParam<CostCase> {};
+
+TEST_P(EpochPropertyTest, ClassificationConsistentWithAlgebra) {
+  const auto& p = GetParam();
+  EpochCosts c{.t_comp = p.comp, .t_io = p.io, .t_transact = p.transact};
+  const double sync = sync_epoch_seconds(c);
+  const double async = async_epoch_seconds(c);
+  EXPECT_EQ(async_is_beneficial(c), async < sync);
+  const auto scenario = classify_overlap(c);
+  if (scenario == OverlapScenario::kSlowdown) {
+    EXPECT_GE(async, sync);
+  } else {
+    EXPECT_LT(async, sync);
+    if (scenario == OverlapScenario::kIdeal) EXPECT_GE(c.t_comp, c.t_io);
+  }
+  // Async epochs are never shorter than the compute phase alone.
+  EXPECT_GE(async, c.t_comp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EpochPropertyTest,
+    ::testing::Values(CostCase{1, 1, 0.1}, CostCase{1, 1, 1}, CostCase{5, 1, 0.1},
+                      CostCase{1, 5, 0.1}, CostCase{0.1, 0.05, 0.2},
+                      CostCase{10, 30, 2}, CostCase{30, 10, 2},
+                      CostCase{0, 5, 0.5}, CostCase{5, 0, 0.5},
+                      CostCase{2, 4, 0}, CostCase{0.5, 0.5, 0.5}));
+
+}  // namespace
+}  // namespace apio::model

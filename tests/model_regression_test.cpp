@@ -1,0 +1,288 @@
+// Tests for the normal-equation regression (Eq. 4), r² (Eq. 5), the
+// history store and the rate estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "model/estimator.h"
+#include "model/history.h"
+#include "model/regression.h"
+
+namespace apio::model {
+namespace {
+
+TEST(RegressionTest, ExactLineRecovered) {
+  // y = 2 + 3x fitted exactly.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double x = 0; x < 5; ++x) {
+    rows.push_back({1.0, x});
+    y.push_back(2.0 + 3.0 * x);
+  }
+  const auto fit = fit_least_squares(rows, y);
+  ASSERT_EQ(fit.beta.size(), 2u);
+  EXPECT_NEAR(fit.beta[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.beta[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 5u);
+}
+
+TEST(RegressionTest, TwoFeaturePlaneRecovered) {
+  // y = 1 + 2a - 0.5b.
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0, 10);
+    const double b = rng.uniform(0, 10);
+    rows.push_back({1.0, a, b});
+    y.push_back(1.0 + 2.0 * a - 0.5 * b);
+  }
+  const auto fit = fit_least_squares(rows, y);
+  EXPECT_NEAR(fit.beta[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.beta[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.beta[2], -0.5, 1e-9);
+}
+
+TEST(RegressionTest, NoisyFitHasHighButImperfectR2) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 100);
+    rows.push_back({1.0, x});
+    y.push_back(5.0 + 0.7 * x + rng.normal(0.0, 2.0));
+  }
+  const auto fit = fit_least_squares(rows, y);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.beta[1], 0.7, 0.05);
+}
+
+TEST(RegressionTest, PredictsAtNewPoints) {
+  std::vector<std::vector<double>> rows{{1, 1}, {1, 2}, {1, 3}};
+  std::vector<double> y{2, 4, 6};
+  const auto fit = fit_least_squares(rows, y);
+  const std::vector<double> probe{1.0, 10.0};
+  EXPECT_NEAR(predict(fit, probe), 20.0, 1e-9);
+}
+
+TEST(RegressionTest, UnderDeterminedRejected) {
+  std::vector<std::vector<double>> rows{{1, 2, 3}};
+  std::vector<double> y{1};
+  EXPECT_THROW(fit_least_squares(rows, y), InvalidArgumentError);
+}
+
+TEST(RegressionTest, CollinearFeaturesResolvedByRegularization) {
+  // Second column is 2x the first: the plain normal matrix is singular.
+  // This is the weak-scaling regime (data size proportional to ranks),
+  // so the solver must still produce a usable fit on the observed
+  // manifold via its ridge fallback.
+  std::vector<std::vector<double>> rows{{1, 2}, {2, 4}, {3, 6}};
+  std::vector<double> y{1, 2, 3};
+  const auto fit = fit_least_squares(rows, y);
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-6);
+  const std::vector<double> probe{2.0, 4.0};
+  EXPECT_NEAR(predict(fit, probe), 2.0, 1e-6);
+}
+
+TEST(RegressionTest, SizeMismatchRejected) {
+  std::vector<std::vector<double>> rows{{1}, {1}};
+  std::vector<double> y{1};
+  EXPECT_THROW(fit_least_squares(rows, y), InvalidArgumentError);
+}
+
+TEST(RegressionTest, RaggedMatrixRejected) {
+  std::vector<std::vector<double>> rows{{1, 2}, {1}};
+  std::vector<double> y{1, 2};
+  EXPECT_THROW(fit_least_squares(rows, y), InvalidArgumentError);
+}
+
+TEST(RegressionTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(r_squared_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(RegressionTest, PearsonAntiCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+  EXPECT_NEAR(r_squared_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(RegressionTest, PearsonZeroVarianceIsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(RegressionTest, FeatureFormsBuildExpectedRows) {
+  const auto lin = make_features(FeatureForm::kLinear, 100.0, 4.0);
+  EXPECT_EQ(lin, (std::vector<double>{1.0, 100.0, 4.0}));
+  const auto log = make_features(FeatureForm::kLinearLog, std::exp(2.0), std::exp(1.0));
+  EXPECT_NEAR(log[1], 2.0, 1e-12);
+  EXPECT_NEAR(log[2], 1.0, 1e-12);
+  EXPECT_THROW(make_features(FeatureForm::kLinear, 0.0, 1.0), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// History
+
+TEST(HistoryTest, AddAndSelect) {
+  History h;
+  h.add({1000, 4, 5e8, false, vol::IoOp::kWrite});
+  h.add({2000, 8, 6e8, true, vol::IoOp::kWrite});
+  h.add({3000, 8, 9e8, false, vol::IoOp::kRead});
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.select(false, vol::IoOp::kWrite).size(), 1u);
+  EXPECT_EQ(h.select(true, vol::IoOp::kWrite).size(), 1u);
+  EXPECT_EQ(h.select(false, vol::IoOp::kRead).size(), 1u);
+  EXPECT_EQ(h.select(true, vol::IoOp::kRead).size(), 0u);
+}
+
+TEST(HistoryTest, RejectsDegenerateSamples) {
+  History h;
+  EXPECT_THROW(h.add({0, 4, 1e8, false, vol::IoOp::kWrite}), InvalidArgumentError);
+  EXPECT_THROW(h.add({100, 0, 1e8, false, vol::IoOp::kWrite}), InvalidArgumentError);
+  EXPECT_THROW(h.add({100, 4, 0.0, false, vol::IoOp::kWrite}), InvalidArgumentError);
+}
+
+TEST(HistoryTest, CsvRoundTrip) {
+  History h;
+  h.add({1024, 6, 1.5e9, false, vol::IoOp::kWrite});
+  h.add({2048, 12, 2.5e9, true, vol::IoOp::kRead});
+  const std::string csv = h.to_csv();
+  History parsed = History::from_csv(csv);
+  ASSERT_EQ(parsed.size(), 2u);
+  const auto all = parsed.all();
+  EXPECT_EQ(all[0].data_size, 1024u);
+  EXPECT_FALSE(all[0].async);
+  EXPECT_EQ(all[1].op, vol::IoOp::kRead);
+  EXPECT_TRUE(all[1].async);
+  EXPECT_DOUBLE_EQ(all[1].io_rate, 2.5e9);
+}
+
+TEST(HistoryTest, MalformedCsvRejected) {
+  EXPECT_THROW(History::from_csv("1,2,3\n"), FormatError);
+  EXPECT_THROW(History::from_csv("10,2,1e9,0,x\n"), FormatError);
+}
+
+TEST(HistoryTest, ClearEmptiesStore) {
+  History h;
+  h.add({1024, 6, 1.5e9, false, vol::IoOp::kWrite});
+  h.clear();
+  EXPECT_EQ(h.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// IoRateEstimator
+
+std::vector<IoSample> linear_rate_samples() {
+  // rate = 1e8 + 500*size + 2e6*ranks (perfectly linear population).
+  std::vector<IoSample> samples;
+  for (std::uint64_t size : {1000u, 2000u, 4000u, 8000u}) {
+    for (int ranks : {2, 4, 8}) {
+      IoSample s;
+      s.data_size = size;
+      s.ranks = ranks;
+      s.io_rate = 1e8 + 500.0 * static_cast<double>(size) + 2e6 * ranks;
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+TEST(IoRateEstimatorTest, NotReadyUntilEnoughSamples) {
+  IoRateEstimator est(FeatureForm::kLinear, 5);
+  EXPECT_FALSE(est.ready());
+  const auto samples = linear_rate_samples();
+  est.refit({samples.begin(), samples.begin() + 3});
+  EXPECT_FALSE(est.ready());
+  EXPECT_THROW(est.estimate_rate(1000, 4), InvalidArgumentError);
+}
+
+TEST(IoRateEstimatorTest, FitsLinearPopulationExactly) {
+  IoRateEstimator est(FeatureForm::kLinear);
+  est.refit(linear_rate_samples());
+  ASSERT_TRUE(est.ready());
+  EXPECT_NEAR(est.r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(est.estimate_rate(3000, 6), 1e8 + 500.0 * 3000 + 2e6 * 6, 1e-3);
+}
+
+TEST(IoRateEstimatorTest, EstimateSecondsIsEq3) {
+  IoRateEstimator est(FeatureForm::kLinear);
+  est.refit(linear_rate_samples());
+  const double rate = est.estimate_rate(4000, 8);
+  EXPECT_NEAR(est.estimate_seconds(4000, 8), 4000.0 / rate, 1e-12);
+}
+
+TEST(IoRateEstimatorTest, ExtrapolationClampedToEnvelope) {
+  IoRateEstimator est(FeatureForm::kLinear);
+  // A population whose fit has a negative slope in size.
+  std::vector<IoSample> samples;
+  for (int i = 1; i <= 6; ++i) {
+    IoSample s;
+    s.data_size = static_cast<std::uint64_t>(i) * 1000;
+    s.ranks = i;
+    s.io_rate = 1e9 / i;  // decreasing, nonlinear
+    samples.push_back(s);
+  }
+  est.refit(samples);
+  // Far extrapolation would go negative; the clamp keeps it positive.
+  EXPECT_GT(est.estimate_rate(1000ull * 1000 * 1000, 10000), 0.0);
+}
+
+TEST(IoRateEstimatorTest, AutoFormPrefersLogWhenLogIsTruth) {
+  // rate = 1e8 * (1 + log(size) + 2 log(ranks)) — linear in the logs.
+  std::vector<IoSample> samples;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    IoSample s;
+    s.data_size = 1000u << (i % 8);
+    s.ranks = 1 << (i % 6);
+    s.io_rate = 1e8 * (1.0 + std::log(static_cast<double>(s.data_size)) +
+                       2.0 * std::log(static_cast<double>(s.ranks)));
+    samples.push_back(s);
+  }
+  IoRateEstimator est(FeatureForm::kLinear);
+  est.set_auto_form(true);
+  est.refit(samples);
+  EXPECT_EQ(est.form(), FeatureForm::kLinearLog);
+  EXPECT_NEAR(est.r_squared(), 1.0, 1e-9);
+}
+
+TEST(IoRateEstimatorTest, DegenerateRefitStillPredictsObservedPoint) {
+  IoRateEstimator est(FeatureForm::kLinear);
+  est.refit(linear_rate_samples());
+  ASSERT_TRUE(est.ready());
+  // All-identical samples make the plain normal matrix singular; the
+  // regularised fallback must still reproduce the repeated observation.
+  std::vector<IoSample> degenerate(5, IoSample{1000, 4, 1e8, false, vol::IoOp::kWrite});
+  est.refit(degenerate);
+  EXPECT_TRUE(est.ready());
+  EXPECT_NEAR(est.estimate_rate(1000, 4), 1e8, 1e8 * 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// ComputeTimeEstimator
+
+TEST(ComputeTimeEstimatorTest, WeightedAverageTracksRecentIterations) {
+  ComputeTimeEstimator est(0.5);
+  EXPECT_FALSE(est.ready());
+  est.add_observation(10.0);
+  EXPECT_TRUE(est.ready());
+  EXPECT_DOUBLE_EQ(est.estimate_seconds(), 10.0);
+  est.add_observation(20.0);
+  EXPECT_DOUBLE_EQ(est.estimate_seconds(), 15.0);
+  // Drifting workload: the estimate follows.
+  for (int i = 0; i < 20; ++i) est.add_observation(30.0);
+  EXPECT_NEAR(est.estimate_seconds(), 30.0, 0.01);
+}
+
+}  // namespace
+}  // namespace apio::model

@@ -1,0 +1,305 @@
+// Unit tests for the Argobots-style tasking runtime (src/tasking).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "tasking/eventual.h"
+#include "tasking/pool.h"
+#include "tasking/scheduler.h"
+#include "tasking/task_group.h"
+
+namespace apio::tasking {
+namespace {
+
+TEST(EventualTest, StartsPending) {
+  auto e = Eventual::make();
+  EXPECT_FALSE(e->test());
+  EXPECT_FALSE(e->has_error());
+}
+
+TEST(EventualTest, SetCompletes) {
+  auto e = Eventual::make();
+  e->set();
+  EXPECT_TRUE(e->test());
+  EXPECT_NO_THROW(e->wait());
+}
+
+TEST(EventualTest, MakeReadyIsComplete) {
+  auto e = Eventual::make_ready();
+  EXPECT_TRUE(e->test());
+}
+
+TEST(EventualTest, ErrorRethrownOnWait) {
+  auto e = Eventual::make();
+  e->set_error(std::make_exception_ptr(IoError("disk on fire")));
+  EXPECT_TRUE(e->test());
+  EXPECT_TRUE(e->has_error());
+  EXPECT_THROW(e->wait(), IoError);
+}
+
+TEST(EventualTest, ContinuationRunsOnSet) {
+  auto e = Eventual::make();
+  std::atomic<int> calls{0};
+  e->on_ready([&] { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  e->set();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(EventualTest, ContinuationRunsImmediatelyWhenAlreadyDone) {
+  auto e = Eventual::make_ready();
+  std::atomic<int> calls{0};
+  e->on_ready([&] { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(EventualTest, MultipleContinuationsAllRun) {
+  auto e = Eventual::make();
+  std::atomic<int> calls{0};
+  for (int i = 0; i < 10; ++i) e->on_ready([&] { ++calls; });
+  e->set();
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(EventualTest, WaitBlocksUntilSetFromAnotherThread) {
+  auto e = Eventual::make();
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    e->set();
+  });
+  e->wait();
+  EXPECT_TRUE(e->test());
+  setter.join();
+}
+
+TEST(EventualTest, WaitAllPropagatesFirstError) {
+  std::vector<EventualPtr> es{Eventual::make_ready(), Eventual::make()};
+  es[1]->set_error(std::make_exception_ptr(StateError("nope")));
+  EXPECT_THROW(wait_all(es), StateError);
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+
+TEST(PoolTest, FifoOrder) {
+  Pool pool;
+  std::vector<int> order;
+  pool.push([&] { order.push_back(1); });
+  pool.push([&] { order.push_back(2); });
+  pool.push([&] { order.push_back(3); });
+  EXPECT_EQ(pool.size(), 3u);
+  while (auto t = pool.try_pop()) (*t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(PoolTest, TryPopEmptyReturnsNothing) {
+  Pool pool;
+  EXPECT_FALSE(pool.try_pop().has_value());
+}
+
+TEST(PoolTest, PushAfterCloseThrows) {
+  Pool pool;
+  pool.close();
+  EXPECT_TRUE(pool.closed());
+  EXPECT_THROW(pool.push([] {}), StateError);
+}
+
+TEST(PoolTest, PopDrainsAfterClose) {
+  Pool pool;
+  pool.push([] {});
+  pool.close();
+  EXPECT_TRUE(pool.pop().has_value());
+  EXPECT_FALSE(pool.pop().has_value());
+}
+
+TEST(PoolTest, CloseReleasesBlockedConsumer) {
+  Pool pool;
+  std::atomic<bool> released{false};
+  std::thread consumer([&] {
+    auto t = pool.pop();
+    released = !t.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.close();
+  consumer.join();
+  EXPECT_TRUE(released.load());
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionStream
+
+TEST(ExecutionStreamTest, ExecutesPushedTasks) {
+  auto pool = std::make_shared<Pool>();
+  ExecutionStream stream(pool);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i) pool->push([&sum, i] { sum += i; });
+  stream.shutdown();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ExecutionStreamTest, FifoExecutionOrder) {
+  auto pool = std::make_shared<Pool>();
+  ExecutionStream stream(pool);
+  std::vector<int> order;
+  std::mutex m;
+  for (int i = 0; i < 100; ++i) {
+    pool->push([&, i] {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    });
+  }
+  stream.shutdown();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecutionStreamTest, SurvivesThrowingTask) {
+  auto pool = std::make_shared<Pool>();
+  ExecutionStream stream(pool);
+  std::atomic<bool> ran_after{false};
+  pool->push([] { throw IoError("task blew up"); });
+  pool->push([&] { ran_after = true; });
+  stream.shutdown();
+  EXPECT_TRUE(ran_after.load());
+}
+
+TEST(ExecutionStreamTest, ShutdownIsIdempotent) {
+  auto pool = std::make_shared<Pool>();
+  ExecutionStream stream(pool);
+  stream.shutdown();
+  EXPECT_NO_THROW(stream.shutdown());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+TEST(SchedulerTest, RunsSubmittedTask) {
+  Scheduler sched(2);
+  std::atomic<int> x{0};
+  auto e = sched.submit([&] { x = 42; });
+  e->wait();
+  EXPECT_EQ(x.load(), 42);
+}
+
+TEST(SchedulerTest, PropagatesTaskError) {
+  Scheduler sched(1);
+  auto e = sched.submit([] { throw FormatError("bad bits"); });
+  EXPECT_THROW(e->wait(), FormatError);
+}
+
+TEST(SchedulerTest, DependencyOrdering) {
+  Scheduler sched(4);
+  std::atomic<int> stage{0};
+  auto first = sched.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stage = 1;
+  });
+  auto second = sched.submit(
+      [&] {
+        EXPECT_EQ(stage.load(), 1);
+        stage = 2;
+      },
+      {first});
+  second->wait();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(SchedulerTest, DiamondDependencies) {
+  Scheduler sched(4);
+  std::atomic<int> a{0}, b{0}, c{0};
+  auto top = sched.submit([&] { a = 1; });
+  auto left = sched.submit([&] { b = a + 1; }, {top});
+  auto right = sched.submit([&] { c = a + 2; }, {top});
+  std::atomic<int> bottom_val{0};
+  auto bottom = sched.submit([&] { bottom_val = b + c; }, {left, right});
+  bottom->wait();
+  EXPECT_EQ(bottom_val.load(), 5);
+}
+
+TEST(SchedulerTest, DependencyOnCompletedEventual) {
+  Scheduler sched(1);
+  auto ready = Eventual::make_ready();
+  std::atomic<bool> ran{false};
+  sched.submit([&] { ran = true; }, {ready})->wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(SchedulerTest, ManyTasksAllComplete) {
+  Scheduler sched(4);
+  std::atomic<int> count{0};
+  std::vector<EventualPtr> es;
+  for (int i = 0; i < 500; ++i) es.push_back(sched.submit([&] { ++count; }));
+  wait_all(es);
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_EQ(sched.tasks_submitted(), 500u);
+}
+
+TEST(SchedulerTest, LongDependencyChainRunsInOrder) {
+  Scheduler sched(2);
+  std::vector<int> order;
+  std::mutex m;
+  EventualPtr prev = Eventual::make_ready();
+  for (int i = 0; i < 64; ++i) {
+    prev = sched.submit(
+        [&, i] {
+          std::lock_guard<std::mutex> lock(m);
+          order.push_back(i);
+        },
+        {prev});
+  }
+  prev->wait();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, SubmitAfterShutdownThrows) {
+  Scheduler sched(1);
+  sched.shutdown();
+  EXPECT_THROW(sched.submit([] {}), StateError);
+}
+
+TEST(SchedulerTest, NullDependencyRejected) {
+  Scheduler sched(1);
+  EXPECT_THROW(sched.submit([] {}, {nullptr}), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+TEST(TaskGroupTest, ForkJoin) {
+  Scheduler sched(4);
+  TaskGroup group(sched);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 20; ++i) group.run([&sum, i] { sum += i; });
+  EXPECT_EQ(group.size(), 20u);
+  group.wait();
+  EXPECT_EQ(sum.load(), 210);
+}
+
+TEST(TaskGroupTest, WaitRethrowsAndGroupReusable) {
+  Scheduler sched(2);
+  TaskGroup group(sched);
+  group.run([] { throw IoError("fail"); });
+  EXPECT_THROW(group.wait(), IoError);
+  std::atomic<bool> ok{false};
+  group.run([&] { ok = true; });
+  group.wait();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(TaskGroupTest, RunAfterRespectsDependencies) {
+  Scheduler sched(4);
+  TaskGroup group(sched);
+  std::atomic<int> v{0};
+  auto dep = sched.submit([&] { v = 7; });
+  std::atomic<int> seen{0};
+  group.run_after([&] { seen = v.load(); }, {dep});
+  group.wait();
+  EXPECT_EQ(seen.load(), 7);
+}
+
+}  // namespace
+}  // namespace apio::tasking

@@ -1,0 +1,108 @@
+// Tests for the time-series (extendable checkpoint stream) writer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "h5/timeseries.h"
+#include "storage/memory_backend.h"
+
+namespace apio::h5 {
+namespace {
+
+FilePtr mem_file() {
+  return File::create(std::make_shared<storage::MemoryBackend>());
+}
+
+TEST(TimeSeriesTest, AppendAndReadBack) {
+  auto file = mem_file();
+  TimeSeriesWriter series(file->root(), "u", Datatype::kFloat64, {4, 4});
+  EXPECT_EQ(series.frames(), 0u);
+  EXPECT_EQ(series.frame_bytes(), 16u * 8);
+
+  for (int f = 0; f < 5; ++f) {
+    std::vector<double> frame(16);
+    std::iota(frame.begin(), frame.end(), f * 100.0);
+    EXPECT_EQ(series.append<double>(frame), static_cast<std::uint64_t>(f));
+  }
+  EXPECT_EQ(series.frames(), 5u);
+  EXPECT_EQ(series.dataset().dims(), (Dims{5, 4, 4}));
+
+  auto frame3 = series.read_frame<double>(3);
+  EXPECT_DOUBLE_EQ(frame3[0], 300.0);
+  EXPECT_DOUBLE_EQ(frame3[15], 315.0);
+}
+
+TEST(TimeSeriesTest, ScalarFrames) {
+  auto file = mem_file();
+  TimeSeriesWriter series(file->root(), "t", Datatype::kInt64, {1});
+  for (std::int64_t v : {10, 20, 30}) {
+    const std::vector<std::int64_t> frame{v};
+    series.append<std::int64_t>(frame);
+  }
+  EXPECT_EQ(series.read_frame<std::int64_t>(1)[0], 20);
+}
+
+TEST(TimeSeriesTest, CompressedFramesRoundTrip) {
+  auto file = mem_file();
+  TimeSeriesWriter series(file->root(), "u", Datatype::kUInt8, {1024},
+                          FilterId::kRle, /*frames_per_chunk=*/4);
+  std::vector<std::uint8_t> zeros(1024, 0);
+  std::vector<std::uint8_t> ones(1024, 1);
+  series.append<std::uint8_t>(zeros);
+  series.append<std::uint8_t>(ones);
+  series.append<std::uint8_t>(zeros);
+  EXPECT_EQ(series.read_frame<std::uint8_t>(1), ones);
+  EXPECT_EQ(series.read_frame<std::uint8_t>(2), zeros);
+}
+
+TEST(TimeSeriesTest, ReopenContinuesAppending) {
+  auto backend = std::make_shared<storage::MemoryBackend>();
+  {
+    auto file = File::create(backend);
+    TimeSeriesWriter series(file->root(), "u", Datatype::kInt32, {8});
+    std::vector<std::int32_t> frame(8, 1);
+    series.append<std::int32_t>(frame);
+    series.append<std::int32_t>(frame);
+    file->close();
+  }
+  auto file = File::open(backend);
+  auto series = TimeSeriesWriter::open(file->root(), "u");
+  EXPECT_EQ(series.frames(), 2u);
+  std::vector<std::int32_t> frame(8, 9);
+  EXPECT_EQ(series.append<std::int32_t>(frame), 2u);
+  EXPECT_EQ(series.read_frame<std::int32_t>(2)[0], 9);
+  EXPECT_EQ(series.read_frame<std::int32_t>(0)[0], 1);
+}
+
+TEST(TimeSeriesTest, Validation) {
+  auto file = mem_file();
+  TimeSeriesWriter series(file->root(), "u", Datatype::kInt32, {8});
+  std::vector<std::int32_t> wrong(4, 0);
+  EXPECT_THROW(series.append<std::int32_t>(wrong), InvalidArgumentError);
+  std::vector<std::byte> out(32);
+  EXPECT_THROW(series.read_frame_raw(0, out), InvalidArgumentError);  // no frames yet
+
+  // open() rejects datasets that are not time series.
+  file->root().create_dataset("plain", Datatype::kInt32, {4},
+                              DatasetCreateProps::chunked({4}));
+  EXPECT_THROW(TimeSeriesWriter::open(file->root(), "plain"), InvalidArgumentError);
+  file->root().create_dataset("contig", Datatype::kInt32, {4});
+  EXPECT_THROW(TimeSeriesWriter::open(file->root(), "contig"), InvalidArgumentError);
+}
+
+TEST(TimeSeriesTest, ManyFramesAcrossChunkBoundaries) {
+  auto file = mem_file();
+  TimeSeriesWriter series(file->root(), "u", Datatype::kUInt16, {3, 5},
+                          FilterId::kNone, /*frames_per_chunk=*/7);
+  for (std::uint16_t f = 0; f < 50; ++f) {
+    std::vector<std::uint16_t> frame(15, f);
+    series.append<std::uint16_t>(frame);
+  }
+  for (std::uint16_t f = 0; f < 50; ++f) {
+    EXPECT_EQ(series.read_frame<std::uint16_t>(f)[7], f);
+  }
+}
+
+}  // namespace
+}  // namespace apio::h5

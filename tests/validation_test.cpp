@@ -1,0 +1,70 @@
+// Tests for k-fold cross-validation of the rate model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "model/validation.h"
+
+namespace apio::model {
+namespace {
+
+std::vector<IoSample> linear_population(int n, double noise_sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IoSample> samples;
+  for (int i = 0; i < n; ++i) {
+    IoSample s;
+    s.data_size = 1000 + static_cast<std::uint64_t>(rng.next_below(100000));
+    s.ranks = 1 + static_cast<int>(rng.next_below(256));
+    s.io_rate = 1e8 + 300.0 * static_cast<double>(s.data_size) + 5e5 * s.ranks;
+    if (noise_sigma > 0) s.io_rate *= std::exp(rng.normal(0.0, noise_sigma));
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+TEST(CrossValidationTest, ExactPopulationHasNearZeroError) {
+  const auto samples = linear_population(60, 0.0, 1);
+  const auto result = k_fold_cross_validation(samples, FeatureForm::kLinear, 5);
+  EXPECT_EQ(result.folds_evaluated, 5u);
+  EXPECT_LT(result.mean_abs_rel_error, 1e-9);
+  EXPECT_LT(result.worst_abs_rel_error, 1e-8);
+}
+
+TEST(CrossValidationTest, NoisyPopulationErrorTracksNoise) {
+  const auto samples = linear_population(120, 0.05, 2);
+  const auto result = k_fold_cross_validation(samples, FeatureForm::kLinear, 5);
+  // ~5% multiplicative noise => mean relative error in its vicinity.
+  EXPECT_GT(result.mean_abs_rel_error, 0.01);
+  EXPECT_LT(result.mean_abs_rel_error, 0.15);
+}
+
+TEST(CrossValidationTest, WrongFormScoresWorse) {
+  // Population is exactly linear; the log form must generalise worse.
+  const auto samples = linear_population(80, 0.0, 3);
+  const auto linear = k_fold_cross_validation(samples, FeatureForm::kLinear, 4);
+  const auto loglin = k_fold_cross_validation(samples, FeatureForm::kLinearLog, 4);
+  EXPECT_LT(linear.mean_abs_rel_error, loglin.mean_abs_rel_error);
+}
+
+TEST(CrossValidationTest, DeterministicInSeed) {
+  const auto samples = linear_population(50, 0.1, 4);
+  const auto a = k_fold_cross_validation(samples, FeatureForm::kLinear, 5, 99);
+  const auto b = k_fold_cross_validation(samples, FeatureForm::kLinear, 5, 99);
+  EXPECT_DOUBLE_EQ(a.mean_abs_rel_error, b.mean_abs_rel_error);
+  const auto c = k_fold_cross_validation(samples, FeatureForm::kLinear, 5, 100);
+  EXPECT_NE(a.mean_abs_rel_error, c.mean_abs_rel_error);
+}
+
+TEST(CrossValidationTest, ValidatesArguments) {
+  const auto samples = linear_population(10, 0.0, 5);
+  EXPECT_THROW(k_fold_cross_validation(samples, FeatureForm::kLinear, 1),
+               InvalidArgumentError);
+  EXPECT_THROW(k_fold_cross_validation({samples.begin(), samples.begin() + 2},
+                                       FeatureForm::kLinear, 5),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace apio::model

@@ -1,0 +1,356 @@
+// Tests for the I/O kernels and application proxies (real executions at
+// laptop scale, plus the simulator-configuration factories).
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "storage/memory_backend.h"
+#include "vol/async_connector.h"
+#include "vol/native_connector.h"
+#include "workloads/amr.h"
+#include "workloads/bdcats_io.h"
+#include "workloads/castro.h"
+#include "workloads/cosmoflow.h"
+#include "workloads/eqsim.h"
+#include "workloads/nyx.h"
+#include "workloads/vpic_io.h"
+
+namespace apio::workloads {
+namespace {
+
+h5::FilePtr mem_file() {
+  return h5::File::create(std::make_shared<storage::MemoryBackend>());
+}
+
+// ---------------------------------------------------------------------------
+// VPIC-IO + BD-CATS-IO (write then read back, both connector modes)
+
+enum class Mode { kSync, kAsync };
+
+class KernelRoundTripTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  std::shared_ptr<vol::Connector> make_connector(h5::FilePtr file) {
+    if (GetParam() == Mode::kSync) {
+      return std::make_shared<vol::NativeConnector>(std::move(file));
+    }
+    return std::make_shared<vol::AsyncConnector>(std::move(file));
+  }
+};
+
+TEST_P(KernelRoundTripTest, VpicWritesBdCatsReadsAndVerifies) {
+  constexpr int kRanks = 4;
+  auto file = mem_file();
+  auto connector = make_connector(file);
+
+  VpicParams wp;
+  wp.particles_per_rank = 2048;
+  wp.time_steps = 3;
+  VpicIoKernel writer(wp);
+
+  VpicRunResult write_result;
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    if (comm.rank() == 0) write_result = writer.run(*connector, comm);
+    else writer.run(*connector, comm);
+  });
+  connector->wait_all();
+
+  EXPECT_EQ(write_result.step_io_seconds.size(), 3u);
+  EXPECT_EQ(write_result.bytes_per_step,
+            2048ull * kRanks * kVpicProperties.size() * sizeof(float));
+  EXPECT_GT(write_result.peak_bandwidth(), 0.0);
+
+  BdCatsParams rp;
+  rp.particles_per_rank = 2048;
+  rp.time_steps = 3;
+  rp.verify_data = true;
+  BdCatsIoKernel reader(rp);
+  BdCatsRunResult read_result;
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    auto r = reader.run(*connector, comm);
+    if (comm.rank() == 0) read_result = r;
+  });
+  EXPECT_EQ(read_result.verification_failures, 0u);
+  EXPECT_EQ(read_result.step_io_seconds.size(), 3u);
+  connector->close();
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, KernelRoundTripTest,
+                         ::testing::Values(Mode::kSync, Mode::kAsync),
+                         [](const auto& info) {
+                           return info.param == Mode::kSync ? "Sync" : "Async";
+                         });
+
+TEST(VpicIoTest, BytesPerRankMatchesConfiguration) {
+  VpicParams p;
+  p.particles_per_rank = 8ull * 1024 * 1024;
+  EXPECT_EQ(vpic_bytes_per_rank_per_step(p), 8ull * 1024 * 1024 * 8 * 4);
+}
+
+TEST(VpicIoTest, SimConfigIsWeakScaling) {
+  const auto spec = sim::SystemSpec::summit();
+  const auto small = VpicIoKernel::sim_config(spec, 16, model::IoMode::kSync);
+  const auto large = VpicIoKernel::sim_config(spec, 64, model::IoMode::kSync);
+  EXPECT_EQ(large.bytes_per_epoch, 4 * small.bytes_per_epoch);
+  EXPECT_EQ(small.io_kind, storage::IoKind::kWrite);
+}
+
+TEST(VpicIoTest, RejectsDegenerateParams) {
+  VpicParams p;
+  p.particles_per_rank = 0;
+  EXPECT_THROW(VpicIoKernel{p}, InvalidArgumentError);
+}
+
+TEST(BdCatsTest, PrefetchingImprovesCacheHitRate) {
+  constexpr int kRanks = 2;
+  auto file = mem_file();
+  auto connector = std::make_shared<vol::AsyncConnector>(file);
+
+  VpicParams wp;
+  wp.particles_per_rank = 512;
+  wp.time_steps = 4;
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    VpicIoKernel(wp).run(*connector, comm);
+  });
+  connector->wait_all();
+
+  BdCatsParams rp;
+  rp.particles_per_rank = 512;
+  rp.time_steps = 4;
+  rp.prefetch = true;
+  pmpi::run(kRanks, [&](pmpi::Communicator& comm) {
+    BdCatsIoKernel(rp).run(*connector, comm);
+  });
+  const auto stats = connector->stats();
+  // Steps 2..4 on each rank should be served from the prefetch cache:
+  // 3 steps x 8 properties x 2 ranks hits.
+  EXPECT_EQ(stats.cache_hits, 3u * 8 * kRanks);
+  connector->close();
+}
+
+TEST(BdCatsTest, SimConfigUsesPrefetchedReads) {
+  const auto spec = sim::SystemSpec::cori_haswell();
+  const auto config = BdCatsIoKernel::sim_config(spec, 8, model::IoMode::kAsync);
+  EXPECT_EQ(config.io_kind, storage::IoKind::kRead);
+  EXPECT_TRUE(config.prefetch_reads);
+}
+
+// ---------------------------------------------------------------------------
+// AMR substrate
+
+TEST(AmrTest, DecomposeCoversDomainExactly) {
+  const h5::Dims domain{10, 4, 4};
+  const auto boxes = decompose_domain(domain, 3);
+  ASSERT_EQ(boxes.size(), 3u);
+  std::uint64_t cells = 0;
+  std::uint64_t next_lo = 0;
+  for (const auto& box : boxes) {
+    EXPECT_EQ(box.lo[0], next_lo);
+    next_lo += box.size[0];
+    cells += box.num_cells();
+  }
+  EXPECT_EQ(cells, h5::num_elements(domain));
+  EXPECT_EQ(next_lo, domain[0]);
+}
+
+TEST(AmrTest, DecomposeMorePartsThanSlabs) {
+  const auto boxes = decompose_domain({2, 4}, 4);
+  ASSERT_EQ(boxes.size(), 4u);
+  EXPECT_EQ(boxes[0].num_cells(), 4u);
+  EXPECT_EQ(boxes[2].num_cells(), 0u);  // empty tail boxes
+}
+
+TEST(AmrTest, MultiFabPlotfileRoundTrip) {
+  auto file = mem_file();
+  vol::NativeConnector connector(file);
+  const h5::Dims domain{8, 8, 8};
+  const auto boxes = decompose_domain(domain, 2);
+  MultiFab fab0(domain, 3, {boxes[0]});
+  MultiFab fab1(domain, 3, {boxes[1]});
+
+  MultiFab::create_plotfile(connector, "plt0", domain, 3);
+  std::vector<vol::RequestPtr> reqs;
+  fab0.write_plotfile(connector, "plt0", reqs);
+  fab1.write_plotfile(connector, "plt0", reqs);
+  for (auto& r : reqs) r->wait();
+
+  EXPECT_EQ(fab0.verify_plotfile(connector, "plt0"), 0u);
+  EXPECT_EQ(fab1.verify_plotfile(connector, "plt0"), 0u);
+  EXPECT_EQ(connector.file()->root().open_group("plt0").attribute<std::int32_t>(
+                "ncomp"),
+            3);
+}
+
+TEST(AmrTest, LocalBytesAccounting) {
+  const h5::Dims domain{4, 4, 4};
+  MultiFab fab(domain, 2, decompose_domain(domain, 1));
+  EXPECT_EQ(fab.local_bytes(), 64ull * 2 * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// Application proxies (tiny real executions through both connectors)
+
+TEST(NyxProxyTest, SmallRunThroughAsyncConnector) {
+  auto file = mem_file();
+  auto connector = std::make_shared<vol::AsyncConnector>(file);
+  NyxParams params;
+  params.domain = {16, 16, 16};
+  params.ncomp = 3;
+  params.schedule.checkpoints = 2;
+  params.schedule.steps_per_checkpoint = 2;
+  NyxProxy proxy(params);
+
+  CheckpointRunResult result;
+  pmpi::run(3, [&](pmpi::Communicator& comm) {
+    auto r = proxy.run(*connector, comm);
+    if (comm.rank() == 0) result = r;
+  });
+  EXPECT_EQ(result.checkpoint_io_seconds.size(), 2u);
+  EXPECT_EQ(result.bytes_per_checkpoint, 16ull * 16 * 16 * 3 * sizeof(float));
+  EXPECT_TRUE(connector->file()->root().has_group("plt0000"));
+  EXPECT_TRUE(connector->file()->root().has_group("plt0001"));
+  connector->close();
+}
+
+TEST(NyxProxyTest, ConfigsMatchPaper) {
+  EXPECT_EQ(NyxParams::small().domain, (h5::Dims{256, 256, 256}));
+  EXPECT_EQ(NyxParams::small().schedule.steps_per_checkpoint, 20);
+  EXPECT_EQ(NyxParams::large().domain, (h5::Dims{2048, 2048, 2048}));
+  EXPECT_EQ(NyxParams::large().schedule.steps_per_checkpoint, 50);
+}
+
+TEST(NyxProxyTest, SimConfigIsStrongScaling) {
+  const auto spec = sim::SystemSpec::cori_haswell();
+  const auto params = NyxParams::small();
+  const auto a = NyxProxy::sim_config(spec, 8, model::IoMode::kSync, params);
+  const auto b = NyxProxy::sim_config(spec, 64, model::IoMode::kSync, params);
+  EXPECT_EQ(a.bytes_per_epoch, b.bytes_per_epoch);  // data fixed, ranks grow
+}
+
+TEST(CastroProxyTest, WritesFieldsAndParticles) {
+  auto file = mem_file();
+  auto connector = std::make_shared<vol::NativeConnector>(file);
+  CastroParams params;
+  params.domain = {8, 8, 8};
+  params.ncomp = 2;
+  params.particles_per_cell = 1;
+  params.particle_props = 2;
+  params.schedule.checkpoints = 1;
+  params.schedule.steps_per_checkpoint = 1;
+  CastroProxy proxy(params);
+
+  CheckpointRunResult result;
+  pmpi::run(2, [&](pmpi::Communicator& comm) {
+    auto r = proxy.run(*connector, comm);
+    if (comm.rank() == 0) result = r;
+  });
+  const std::uint64_t expected =
+      8ull * 8 * 8 * 2 * sizeof(float) + 8ull * 8 * 8 * 1 * 2 * sizeof(float);
+  EXPECT_EQ(result.bytes_per_checkpoint, expected);
+  auto chk = connector->file()->root().open_group("chk00000");
+  EXPECT_TRUE(chk.has_group("particles"));
+  EXPECT_TRUE(chk.open_group("particles").has_dataset("prop0"));
+}
+
+TEST(CastroProxyTest, CheckpointBytesFormula) {
+  CastroParams params;
+  params.domain = {128, 128, 128};
+  params.ncomp = 6;
+  params.particles_per_cell = 2;
+  params.particle_props = 4;
+  const std::uint64_t cells = 128ull * 128 * 128;
+  EXPECT_EQ(CastroProxy::checkpoint_bytes(params),
+            cells * 6 * 4 + cells * 2 * 4 * 4);
+}
+
+TEST(EqsimWaveGridTest, StableStencilKeepsEnergyBounded) {
+  WaveGrid grid({16, 16, 16}, /*dx=*/50.0, /*dt=*/0.005, /*wave_speed=*/3000.0);
+  grid.seed_pulse(1.0, 2.0);
+  const double e0 = grid.energy();
+  ASSERT_GT(e0, 0.0);
+  for (int i = 0; i < 50; ++i) grid.step();
+  const double e1 = grid.energy();
+  // A CFL-stable leapfrog scheme must not blow up.
+  EXPECT_LT(e1, 20.0 * e0);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_NEAR(grid.time(), 0.25, 1e-9);
+}
+
+TEST(EqsimWaveGridTest, CflViolationRejected) {
+  EXPECT_THROW(WaveGrid({16, 16, 16}, 50.0, /*dt=*/1.0, /*wave_speed=*/3000.0),
+               InvalidArgumentError);
+}
+
+TEST(EqsimWaveGridTest, TooSmallGridRejected) {
+  EXPECT_THROW(WaveGrid({4, 16, 16}, 50.0, 0.001, 3000.0), InvalidArgumentError);
+}
+
+TEST(EqsimProxyTest, RunWithRealComputeWritesCheckpoints) {
+  auto file = mem_file();
+  auto connector = std::make_shared<vol::AsyncConnector>(file);
+  EqsimParams params;
+  params.domain = {12, 12, 12};
+  params.ncomp = 2;
+  params.schedule.checkpoints = 2;
+  params.schedule.steps_per_checkpoint = 5;
+  params.real_compute = true;
+  EqsimProxy proxy(params);
+
+  CheckpointRunResult result;
+  pmpi::run(2, [&](pmpi::Communicator& comm) {
+    auto r = proxy.run(*connector, comm);
+    if (comm.rank() == 0) result = r;
+  });
+  EXPECT_EQ(result.checkpoint_io_seconds.size(), 2u);
+  EXPECT_TRUE(connector->file()->root().has_group("ckpt0000"));
+  connector->close();
+}
+
+TEST(EqsimProxyTest, PaperDomainFromGridSpacing) {
+  // 30000x30000x17000 m at 50 m spacing.
+  EqsimParams params;
+  EXPECT_EQ(params.domain, (h5::Dims{600, 600, 340}));
+}
+
+TEST(CosmoflowProxyTest, PrepareAndTrainWithPrefetch) {
+  auto file = mem_file();
+  auto connector = std::make_shared<vol::AsyncConnector>(file);
+  CosmoflowParams params;
+  params.samples_per_rank = 4;
+  params.sample_shape = {8, 8, 8};
+  params.batch_size = 2;
+  params.epochs = 2;
+  params.prefetch = true;
+  CosmoflowProxy proxy(params);
+
+  CosmoflowRunResult result;
+  pmpi::run(2, [&](pmpi::Communicator& comm) {
+    proxy.prepare(*connector, comm);
+    comm.barrier();
+    auto r = proxy.train(*connector, comm);
+    if (comm.rank() == 0) result = r;
+  });
+  // 2 epochs x 2 batches per epoch.
+  EXPECT_EQ(result.batch_io_seconds.size(), 4u);
+  EXPECT_EQ(result.bytes_per_batch, 2ull * 8 * 8 * 8 * sizeof(float) * 2);
+  EXPECT_GT(connector->stats().cache_hits, 0u);
+  connector->close();
+}
+
+TEST(CosmoflowProxyTest, ParamValidation) {
+  CosmoflowParams params;
+  params.batch_size = 8;
+  params.samples_per_rank = 4;  // less than one batch
+  EXPECT_THROW(CosmoflowProxy{params}, InvalidArgumentError);
+}
+
+TEST(CosmoflowProxyTest, SimConfigReadsWithGpuStaging) {
+  const auto spec = sim::SystemSpec::summit();
+  CosmoflowParams params;
+  const auto config =
+      CosmoflowProxy::sim_config(spec, 128, model::IoMode::kAsync, params);
+  EXPECT_EQ(config.io_kind, storage::IoKind::kRead);
+  EXPECT_TRUE(config.gpu_resident);
+  EXPECT_EQ(config.iterations, 4 * (params.samples_per_rank / params.batch_size));
+}
+
+}  // namespace
+}  // namespace apio::workloads

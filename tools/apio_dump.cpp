@@ -1,0 +1,81 @@
+// apio-dump: prints the values of one dataset of an apio-h5 container,
+// in the spirit of h5dump.  Output is bounded (first N elements) so it
+// is safe on large checkpoints.
+//
+// Usage: apio_dump <container.h5> <dataset-path> [max-elements]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "h5/file.h"
+
+namespace {
+
+template <typename T>
+void dump_typed(apio::h5::Dataset ds, std::uint64_t limit) {
+  using namespace apio::h5;
+  const std::uint64_t total = ds.npoints();
+  const std::uint64_t n = std::min(total, limit);
+  if (n == 0) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  // Read a prefix: flatten to the first n elements in row-major order.
+  Dims start(ds.dims().size(), 0);
+  Dims count = ds.dims();
+  // Reduce the outermost dimension so that the selection holds >= n
+  // elements, then trim while printing.
+  std::uint64_t inner = 1;
+  for (std::size_t i = 1; i < count.size(); ++i) inner *= count[i];
+  if (!count.empty() && inner > 0) {
+    count[0] = std::min<std::uint64_t>(count[0], (n + inner - 1) / inner);
+  }
+  auto values = ds.read_vector<T>(Selection::offsets(start, count));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) std::printf("  [%8llu] ", static_cast<unsigned long long>(i));
+    std::printf("%g ", static_cast<double>(values[i]));
+    if (i % 8 == 7) std::printf("\n");
+  }
+  if (n % 8 != 0) std::printf("\n");
+  if (n < total) {
+    std::printf("  ... (%llu of %llu elements shown)\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(total));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <container.h5> <dataset-path> [max-elements]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::uint64_t limit =
+      argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 64;
+  try {
+    auto file = apio::h5::open_file(argv[1]);
+    auto ds = file->dataset_at(argv[2]);
+    std::printf("%s: %s, %llu elements\n", argv[2],
+                apio::h5::datatype_name(ds.dtype()).c_str(),
+                static_cast<unsigned long long>(ds.npoints()));
+    switch (ds.dtype()) {
+      case apio::h5::Datatype::kInt8: dump_typed<std::int8_t>(ds, limit); break;
+      case apio::h5::Datatype::kUInt8: dump_typed<std::uint8_t>(ds, limit); break;
+      case apio::h5::Datatype::kInt16: dump_typed<std::int16_t>(ds, limit); break;
+      case apio::h5::Datatype::kUInt16: dump_typed<std::uint16_t>(ds, limit); break;
+      case apio::h5::Datatype::kInt32: dump_typed<std::int32_t>(ds, limit); break;
+      case apio::h5::Datatype::kUInt32: dump_typed<std::uint32_t>(ds, limit); break;
+      case apio::h5::Datatype::kInt64: dump_typed<std::int64_t>(ds, limit); break;
+      case apio::h5::Datatype::kUInt64: dump_typed<std::uint64_t>(ds, limit); break;
+      case apio::h5::Datatype::kFloat32: dump_typed<float>(ds, limit); break;
+      case apio::h5::Datatype::kFloat64: dump_typed<double>(ds, limit); break;
+    }
+  } catch (const apio::Error& e) {
+    std::fprintf(stderr, "apio_dump: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

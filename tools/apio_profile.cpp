@@ -1,0 +1,35 @@
+// apio-profile: summarises a recorded I/O trace (CSV produced by
+// vol::TraceRecorder / Trace::to_csv) into a Darshan-style report:
+// per-dataset operation counts, byte volumes, blocking time, and a
+// request-size histogram.
+//
+// Usage: apio_profile <trace.csv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "vol/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.csv>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "apio_profile: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const auto trace = apio::vol::Trace::from_csv(buffer.str());
+    apio::vol::IoProfile profile(trace);
+    std::fputs(profile.report().c_str(), stdout);
+  } catch (const apio::Error& e) {
+    std::fprintf(stderr, "apio_profile: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

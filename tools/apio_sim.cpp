@@ -1,0 +1,72 @@
+// apio-sim: command-line access to the virtual-cluster simulator.
+// Runs one workload/system/mode configuration at a node count and
+// prints per-epoch and aggregate results — the quickest way to ask
+// "what would this checkpoint pattern do at 512 nodes?".
+//
+// Usage:
+//   apio_sim <summit|cori> <sync|async> <nodes> <bytes_per_epoch_MiB>
+//            [compute_seconds=30] [iterations=5] [read|write=write]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sim/epoch_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace apio;
+  if (argc < 5 || argc > 8) {
+    std::fprintf(stderr,
+                 "usage: %s <summit|cori> <sync|async> <nodes> "
+                 "<bytes_per_epoch_MiB> [compute_seconds=30] [iterations=5] "
+                 "[read|write=write]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    sim::SystemSpec spec = [&] {
+      if (std::strcmp(argv[1], "summit") == 0) return sim::SystemSpec::summit();
+      if (std::strcmp(argv[1], "cori") == 0) return sim::SystemSpec::cori_haswell();
+      throw InvalidArgumentError("unknown system: pick summit or cori");
+    }();
+
+    sim::RunConfig config;
+    if (std::strcmp(argv[2], "sync") == 0) config.mode = model::IoMode::kSync;
+    else if (std::strcmp(argv[2], "async") == 0) config.mode = model::IoMode::kAsync;
+    else throw InvalidArgumentError("unknown mode: pick sync or async");
+
+    config.nodes = std::atoi(argv[3]);
+    config.bytes_per_epoch =
+        std::strtoull(argv[4], nullptr, 10) * kMiB;
+    config.compute_seconds = argc > 5 ? std::atof(argv[5]) : 30.0;
+    config.iterations = argc > 6 ? std::atoi(argv[6]) : 5;
+    if (argc > 7 && std::strcmp(argv[7], "read") == 0) {
+      config.io_kind = storage::IoKind::kRead;
+    }
+    config.contention_sigma_override = 0.0;
+
+    sim::EpochSimulator simulator(spec);
+    const auto result = simulator.run(config);
+
+    std::printf("%s, %s, %d nodes (%d ranks), %s/epoch, %.1f s compute\n",
+                spec.name.c_str(), argv[2], result.nodes, result.ranks,
+                format_bytes(config.bytes_per_epoch).c_str(),
+                config.compute_seconds);
+    std::printf("%8s %16s %16s %16s\n", "epoch", "blocking [s]", "complete [s]",
+                "aggregate BW");
+    for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+      const auto& e = result.epochs[i];
+      std::printf("%8zu %16.3f %16.3f %16s%s\n", i, e.io_blocking_seconds,
+                  e.io_completion_seconds, format_bandwidth(e.bandwidth).c_str(),
+                  e.served_from_cache ? "  (cache)" : "");
+    }
+    std::printf("total %.2f s; peak aggregate %s, mean %s\n", result.total_seconds,
+                format_bandwidth(result.peak_bandwidth()).c_str(),
+                format_bandwidth(result.mean_bandwidth()).c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "apio_sim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
