@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Full verification pass for apio:
+#
+#   1. default build + complete ctest suite (includes the apio_lint
+#      concurrency-hygiene check as a test case),
+#   2. clang-tidy preset (skipped with a notice when clang-tidy is not
+#      installed — the GCC-only CI image does not ship it),
+#   3. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
+#      suite plus reduced-iteration stress tests; zero reports allowed).
+#
+# Usage: ci/check.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "usage: ci/check.sh [--skip-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> [1/3] default build + full test suite"
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default -j "${JOBS}"
+
+echo "==> [2/3] clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset tidy
+  cmake --build --preset tidy -j "${JOBS}"
+else
+  echo "    clang-tidy not found on PATH; skipping the tidy preset"
+fi
+
+if [[ "${SKIP_TSAN}" -eq 1 ]]; then
+  echo "==> [3/3] ThreadSanitizer suite skipped (--skip-tsan)"
+else
+  echo "==> [3/3] ThreadSanitizer build + tsan-labelled suite"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}"
+  ctest --preset tsan -j "${JOBS}"
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,47 @@
+// Always-cheap invariant macros for the concurrent substrate.
+//
+// APIO_REQUIRE / APIO_ASSERT (common/error.h) throw exceptions and are
+// the right tool for API misuse on user-facing paths.  The macros here
+// are different: they guard *internal* invariants of lock-free and
+// locked data structures (queue states, barrier generations, staging
+// accounting) where throwing would unwind through locks and leave the
+// structure corrupted.  A violated invariant prints a diagnostic and
+// aborts — the fail-loud discipline TSan-style tooling relies on.
+//
+// All checks compile to no-ops (expressions are not evaluated) when
+// APIO_DEBUG_CHECKS is not defined, i.e. in Release builds.
+#pragma once
+
+#include <source_location>
+
+namespace apio::debug {
+
+/// Prints "<kind>: <expr> — <message> at file:line (function)" to
+/// stderr and calls std::abort().  Never throws: invariant failures
+/// must not unwind through locked regions.
+[[noreturn]] void invariant_failure(
+    const char* kind, const char* expr, const char* message,
+    std::source_location loc = std::source_location::current());
+
+}  // namespace apio::debug
+
+#if defined(APIO_DEBUG_CHECKS)
+
+/// Internal invariant of a concurrent structure; aborts on violation.
+#define APIO_INVARIANT(expr, message)                                        \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::apio::debug::invariant_failure("APIO_INVARIANT", #expr, (message)); \
+    }                                                                        \
+  } while (false)
+
+#else
+
+// The sizeof keeps `expr` syntactically checked without evaluating it.
+#define APIO_INVARIANT(expr, message) \
+  do {                                \
+    (void)sizeof(!(expr));            \
+    (void)(message);                  \
+  } while (false)
+
+#endif  // APIO_DEBUG_CHECKS

@@ -5,6 +5,8 @@
 #include <thread>
 #include <tuple>
 
+#include "common/debug/invariant.h"
+#include "common/debug/thread_role.h"
 #include "common/error.h"
 
 namespace apio::pmpi {
@@ -22,32 +24,43 @@ Communicator World::comm(int rank) {
 }
 
 void World::barrier() {
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  std::unique_lock lock(barrier_mutex_);
   const std::uint64_t my_generation = barrier_generation_;
+  APIO_INVARIANT(barrier_arrived_ >= 0 && barrier_arrived_ < size_,
+                 "barrier arrival count out of range");
   if (++barrier_arrived_ == size_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
   } else {
     barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+    // A waiter may only be released by the generation flip of its own
+    // round (or a later one, for a thread descheduled across rounds) —
+    // never by a stale notify of an earlier round.
+    APIO_INVARIANT(barrier_generation_ > my_generation,
+                   "barrier released into an earlier generation");
   }
 }
 
 int Communicator::size() const { return world_->size(); }
 
-void Communicator::barrier() { world_->barrier(); }
+void Communicator::barrier() {
+  APIO_ASSERT_ON_RANK(world_, rank_);
+  world_->barrier();
+}
 
 void Communicator::bcast_bytes(std::span<std::byte> buffer, int root) {
   APIO_REQUIRE(root >= 0 && root < size(), "bcast root out of range");
+  APIO_ASSERT_ON_RANK(world_, rank_);
   if (rank_ == root) {
-    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    std::lock_guard lock(world_->coll_mutex_);
     world_->bcast_view_ = buffer;
   }
   world_->barrier();  // publish root's view
   if (rank_ != root) {
     std::span<const std::byte> src;
     {
-      std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+      std::lock_guard lock(world_->coll_mutex_);
       src = world_->bcast_view_;
     }
     APIO_REQUIRE(src.size() == buffer.size(), "bcast buffer size mismatch across ranks");
@@ -58,14 +71,15 @@ void Communicator::bcast_bytes(std::span<std::byte> buffer, int root) {
 
 std::vector<std::vector<std::byte>> Communicator::allgather_bytes(
     std::span<const std::byte> mine) {
+  APIO_ASSERT_ON_RANK(world_, rank_);
   {
-    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    std::lock_guard lock(world_->coll_mutex_);
     world_->coll_slots_[rank_].assign(mine.begin(), mine.end());
   }
   world_->barrier();  // all deposits visible
   std::vector<std::vector<std::byte>> out;
   {
-    std::lock_guard<std::mutex> lock(world_->coll_mutex_);
+    std::lock_guard lock(world_->coll_mutex_);
     out = world_->coll_slots_;
   }
   world_->barrier();  // all copies done before slots may be overwritten
@@ -103,9 +117,10 @@ std::uint64_t Communicator::exscan_sum(std::uint64_t value) {
 
 void Communicator::send_bytes(std::span<const std::byte> data, int dest, int tag) {
   APIO_REQUIRE(dest >= 0 && dest < size(), "send dest out of range");
+  APIO_ASSERT_ON_RANK(world_, rank_);
   auto& box = *world_->mailboxes_[dest];
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    std::lock_guard lock(box.mutex);
     box.queues[{rank_, tag}].emplace_back(data.begin(), data.end());
   }
   box.cv.notify_all();
@@ -113,8 +128,9 @@ void Communicator::send_bytes(std::span<const std::byte> data, int dest, int tag
 
 std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
   APIO_REQUIRE(source >= 0 && source < size(), "recv source out of range");
+  APIO_ASSERT_ON_RANK(world_, rank_);
   auto& box = *world_->mailboxes_[rank_];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  std::unique_lock lock(box.mutex);
   const auto key = std::make_pair(source, tag);
   box.cv.wait(lock, [&] {
     auto it = box.queues.find(key);
@@ -129,12 +145,13 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
 bool Communicator::iprobe(int source, int tag) const {
   APIO_REQUIRE(source >= 0 && source < size(), "iprobe source out of range");
   auto& box = *world_->mailboxes_[rank_];
-  std::lock_guard<std::mutex> lock(box.mutex);
+  std::lock_guard lock(box.mutex);
   auto it = box.queues.find({source, tag});
   return it != box.queues.end() && !it->second.empty();
 }
 
 Communicator Communicator::split(int color, int key) {
+  APIO_ASSERT_ON_RANK(world_, rank_);
   // Collect (color, key) of every rank; group and order deterministically.
   struct Entry {
     int color;
@@ -158,14 +175,14 @@ Communicator Communicator::split(int color, int key) {
   // Rendezvous: the first arriver of each colour creates the sub-world.
   std::shared_ptr<World> sub;
   {
-    std::lock_guard<std::mutex> lock(world_->split_mutex_);
+    std::lock_guard lock(world_->split_mutex_);
     auto& slot = world_->split_worlds_[color];
     if (!slot) slot = std::make_shared<World>(static_cast<int>(group.size()));
     sub = slot;
   }
   world_->barrier();  // every rank holds its sub-world
   if (rank_ == 0) {
-    std::lock_guard<std::mutex> lock(world_->split_mutex_);
+    std::lock_guard lock(world_->split_mutex_);
     world_->split_worlds_.clear();  // ready for the next split() round
   }
   world_->barrier();
@@ -176,16 +193,19 @@ void run(int size, const std::function<void(Communicator&)>& body) {
   World world(size);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
-  std::mutex error_mutex;
+  debug::RankedMutex<debug::LockRank::kCounters> error_mutex;
   std::exception_ptr first_error;
 
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&world, &body, &error_mutex, &first_error, r] {
+      // Tag the thread with its rank so APIO_ASSERT_ON_RANK catches a
+      // communicator leaking to the wrong rank thread (or to a stream).
+      debug::ScopedThreadRole role(debug::ThreadRole::kPmpiRank, r, &world);
       Communicator comm = world.comm(r);
       try {
         body(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

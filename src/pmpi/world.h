@@ -17,9 +17,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/debug/lock_rank.h"
 
 namespace apio::pmpi {
 
@@ -41,8 +42,8 @@ class World {
   friend class Communicator;
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
+    debug::RankedMutex<debug::LockRank::kPmpiMailbox> mutex;
+    std::condition_variable_any cv;
     // keyed by (source rank, tag)
     std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
   };
@@ -50,18 +51,18 @@ class World {
   int size_;
 
   // Sense-reversing central barrier.
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
+  debug::RankedMutex<debug::LockRank::kPmpiBarrier> barrier_mutex_;
+  std::condition_variable_any barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
   // Collective exchange area: one slot per rank, plus the root's bcast view.
-  std::mutex coll_mutex_;
+  debug::RankedMutex<debug::LockRank::kPmpiCollective> coll_mutex_;
   std::vector<std::vector<std::byte>> coll_slots_;
   std::span<const std::byte> bcast_view_;
 
   // split() rendezvous: color -> sub-world under construction.
-  std::mutex split_mutex_;
+  debug::RankedMutex<debug::LockRank::kPmpiSplit> split_mutex_;
   std::map<int, std::shared_ptr<World>> split_worlds_;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

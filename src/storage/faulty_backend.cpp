@@ -1,5 +1,6 @@
 #include "storage/faulty_backend.h"
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 
 namespace apio::storage {
@@ -13,6 +14,7 @@ FaultyBackend::FaultyBackend(BackendPtr inner, FaultPlan plan)
 }
 
 void FaultyBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  APIO_INVARIANT(offset + out.size() >= offset, "read range overflows offset space");
   if (!healed_.load() && plan_.fail_reads_after >= 0 &&
       reads_left_.fetch_sub(1) <= 0) {
     faults_.fetch_add(1);

@@ -8,8 +8,6 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
-#include <set>
 
 #include "storage/backend.h"
 

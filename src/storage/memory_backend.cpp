@@ -2,17 +2,19 @@
 
 #include <cstring>
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 
 namespace apio::storage {
 
 std::uint64_t MemoryBackend::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return data_.size();
 }
 
 void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  APIO_INVARIANT(offset + out.size() >= offset, "read range overflows offset space");
+  std::lock_guard lock(mutex_);
   if (offset + out.size() > data_.size()) {
     throw IoError("memory backend: read past end of object (offset " +
                   std::to_string(offset) + " + " + std::to_string(out.size()) +
@@ -23,7 +25,8 @@ void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> out) {
 }
 
 void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  APIO_INVARIANT(offset + data.size() >= offset, "write range overflows offset space");
+  std::lock_guard lock(mutex_);
   const std::uint64_t end = offset + data.size();
   if (end > data_.size()) data_.resize(end);
   std::memcpy(data_.data() + offset, data.data(), data.size());
@@ -33,7 +36,7 @@ void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data)
 void MemoryBackend::flush() { count_flush(); }
 
 void MemoryBackend::truncate(std::uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   data_.resize(new_size);
 }
 

@@ -2,9 +2,9 @@
 // backs unit tests that must not touch the file system.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
+#include "common/debug/lock_rank.h"
 #include "storage/backend.h"
 
 namespace apio::storage {
@@ -25,7 +25,7 @@ class MemoryBackend final : public Backend {
   std::string name() const override { return "memory"; }
 
  private:
-  mutable std::mutex mutex_;
+  mutable debug::RankedMutex<debug::LockRank::kStorageBase> mutex_;
   std::vector<std::byte> data_;
 };
 

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 
 namespace apio::storage {
@@ -40,6 +41,7 @@ std::uint64_t PosixBackend::size() const {
 }
 
 void PosixBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  APIO_INVARIANT(offset + out.size() >= offset, "read range overflows offset space");
   std::size_t done = 0;
   while (done < out.size()) {
     const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
@@ -57,6 +59,7 @@ void PosixBackend::read(std::uint64_t offset, std::span<std::byte> out) {
 }
 
 void PosixBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
+  APIO_INVARIANT(offset + data.size() >= offset, "write range overflows offset space");
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,

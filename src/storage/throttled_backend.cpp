@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 
 namespace apio::storage {
@@ -34,17 +35,20 @@ void ThrottledBackend::throttle(std::uint64_t bytes) {
     // other just as concurrent clients of one PFS allocation do.
     double wait = 0.0;
     {
-      std::lock_guard<std::mutex> lock(channel_mutex_);
+      std::lock_guard lock(channel_mutex_);
       const double now = steady_now();
       const double start = std::max(now, channel_free_at_);
       channel_free_at_ = start + delay * params_.time_scale;
       modelled_delay_ += delay;
       wait = channel_free_at_ - now;
+      // The shared channel only ever books time forward; a regression
+      // here would let concurrent ops overlap their budgeted slots.
+      APIO_INVARIANT(wait >= 0.0, "shared-channel reservation moved backwards");
     }
     sleep_seconds(wait);
   } else {
     {
-      std::lock_guard<std::mutex> lock(channel_mutex_);
+      std::lock_guard lock(channel_mutex_);
       modelled_delay_ += delay;
     }
     sleep_seconds(delay * params_.time_scale);
@@ -69,7 +73,7 @@ void ThrottledBackend::flush() {
 }
 
 double ThrottledBackend::modelled_delay_seconds() const {
-  std::lock_guard<std::mutex> lock(channel_mutex_);
+  std::lock_guard lock(channel_mutex_);
   return modelled_delay_;
 }
 

@@ -6,8 +6,7 @@
 // makes sync-vs-async differences observable in real executions.
 #pragma once
 
-#include <mutex>
-
+#include "common/debug/lock_rank.h"
 #include "storage/backend.h"
 
 namespace apio::storage {
@@ -47,7 +46,7 @@ class ThrottledBackend final : public Backend {
   BackendPtr inner_;
   ThrottleParams params_;
 
-  mutable std::mutex channel_mutex_;
+  mutable debug::RankedMutex<debug::LockRank::kStorageWrapper> channel_mutex_;
   /// Wall-clock time (steady seconds) at which the shared channel frees up.
   double channel_free_at_ = 0.0;
   double modelled_delay_ = 0.0;

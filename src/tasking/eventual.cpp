@@ -1,5 +1,6 @@
 #include "tasking/eventual.h"
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 
 namespace apio::tasking {
@@ -11,52 +12,55 @@ EventualPtr Eventual::make_ready() {
 }
 
 void Eventual::set() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   APIO_ASSERT(!done_, "Eventual::set() called twice");
   done_ = true;
   complete_locked(lock);
 }
 
 void Eventual::set_error(std::exception_ptr error) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   APIO_ASSERT(!done_, "Eventual::set_error() after completion");
   done_ = true;
   error_ = std::move(error);
   complete_locked(lock);
 }
 
-void Eventual::complete_locked(std::unique_lock<std::mutex>& lock) {
+void Eventual::complete_locked(std::unique_lock<Mutex>& lock) {
+  APIO_INVARIANT(done_, "complete_locked() on a pending eventual");
   std::vector<std::function<void()>> continuations;
   continuations.swap(continuations_);
   cv_.notify_all();
+  // Continuations run outside the lock: they may acquire lower-ranked
+  // locks (e.g. push into a pool) or re-enter this eventual.
   lock.unlock();
   for (auto& fn : continuations) fn();
 }
 
 void Eventual::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   cv_.wait(lock, [&] { return done_; });
   if (error_) std::rethrow_exception(error_);
 }
 
 void Eventual::wait_ignore_error() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   cv_.wait(lock, [&] { return done_; });
 }
 
 bool Eventual::test() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return done_;
 }
 
 bool Eventual::has_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return done_ && error_ != nullptr;
 }
 
 void Eventual::on_ready(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (!done_) {
       continuations_.push_back(std::move(fn));
       return;

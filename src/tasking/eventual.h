@@ -10,8 +10,9 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/debug/lock_rank.h"
 
 namespace apio::tasking {
 
@@ -58,13 +59,15 @@ class Eventual : public std::enable_shared_from_this<Eventual> {
   void on_ready(std::function<void()> fn);
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  using Mutex = debug::RankedMutex<debug::LockRank::kTaskingEventual>;
+
+  mutable Mutex mutex_;
+  std::condition_variable_any cv_;
   bool done_ = false;
   std::exception_ptr error_;
   std::vector<std::function<void()>> continuations_;
 
-  void complete_locked(std::unique_lock<std::mutex>& lock);
+  void complete_locked(std::unique_lock<Mutex>& lock);
 };
 
 /// Blocks until every eventual in the range is complete; rethrows the

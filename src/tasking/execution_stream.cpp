@@ -1,5 +1,6 @@
 #include "tasking/execution_stream.h"
 
+#include "common/debug/thread_role.h"
 #include "common/error.h"
 #include "common/log.h"
 
@@ -18,6 +19,9 @@ void ExecutionStream::shutdown() {
 }
 
 void ExecutionStream::run() {
+  // Tag the worker so task bodies can APIO_ASSERT_ON_STREAM(), and so
+  // pmpi collectives abort if they are ever driven from a stream.
+  debug::ScopedThreadRole role(debug::ThreadRole::kStream);
   for (;;) {
     auto task = pool_->pop();
     if (!task) return;  // pool closed and drained

@@ -1,51 +1,67 @@
 #include "tasking/pool.h"
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 
 namespace apio::tasking {
 
 void Pool::push(TaskFn task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (closed_) throw StateError("Pool::push() on closed pool");
     tasks_.push_back(std::move(task));
+    ++accepted_;
   }
   cv_.notify_one();
 }
 
 std::optional<TaskFn> Pool::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
   if (tasks_.empty()) return std::nullopt;
   TaskFn task = std::move(tasks_.front());
   tasks_.pop_front();
+  ++drained_;
+  APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
   return task;
 }
 
 std::optional<TaskFn> Pool::try_pop() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   if (tasks_.empty()) return std::nullopt;
   TaskFn task = std::move(tasks_.front());
   tasks_.pop_front();
+  ++drained_;
+  APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
   return task;
 }
 
 void Pool::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool Pool::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return closed_;
 }
 
 std::size_t Pool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return tasks_.size();
+}
+
+std::uint64_t Pool::accepted() const {
+  std::lock_guard lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t Pool::drained() const {
+  std::lock_guard lock(mutex_);
+  return drained_;
 }
 
 }  // namespace apio::tasking

@@ -2,11 +2,13 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
+
+#include "common/debug/lock_rank.h"
 
 namespace apio::tasking {
 
@@ -16,6 +18,11 @@ using TaskFn = std::function<void()>;
 /// Thread-safe FIFO queue of tasks.  Multiple producers, multiple
 /// consumers.  close() releases blocked consumers; after close, push()
 /// throws and pop() drains remaining tasks then returns nullopt.
+///
+/// Close/drain contract (pinned by ConcurrencyTest.PoolCloseRace): a
+/// push() racing close() either enqueues fully — its task WILL be
+/// drained by consumers — or throws StateError; no task is half
+/// accepted or silently dropped.
 class Pool {
  public:
   /// Enqueues a task.  Throws StateError if the pool is closed.
@@ -34,11 +41,18 @@ class Pool {
   bool closed() const;
   std::size_t size() const;
 
+  /// Tasks accepted by push() over the pool's lifetime.
+  std::uint64_t accepted() const;
+  /// Tasks handed to consumers by pop()/try_pop() over the lifetime.
+  std::uint64_t drained() const;
+
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable debug::RankedMutex<debug::LockRank::kTaskingPool> mutex_;
+  std::condition_variable_any cv_;
   std::deque<TaskFn> tasks_;
   bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t drained_ = 0;
 };
 
 using PoolPtr = std::shared_ptr<Pool>;

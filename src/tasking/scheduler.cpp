@@ -1,5 +1,6 @@
 #include "tasking/scheduler.h"
 
+#include "common/debug/thread_role.h"
 #include "common/error.h"
 
 namespace apio::tasking {
@@ -20,6 +21,7 @@ EventualPtr Scheduler::submit(TaskFn fn, const std::vector<EventualPtr>& deps) {
 
   // Wrap the body so its outcome always lands in `done`.
   auto body = [pool = pool_, fn = std::move(fn), done]() mutable {
+    APIO_ASSERT_ON_STREAM();
     try {
       fn();
       done->set();

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/debug/invariant.h"
+#include "common/debug/thread_role.h"
 #include "common/error.h"
 
 namespace apio::vol {
@@ -17,7 +19,7 @@ AsyncConnector::AsyncConnector(h5::FilePtr file, AsyncOptions options,
   pool_ = std::make_shared<tasking::Pool>();
   stream_ = std::make_unique<tasking::ExecutionStream>(pool_);
   last_op_ = tasking::Eventual::make_ready();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard lock(stats_mutex_);
   stats_.init_seconds = clock_->now() - t0;
 }
 
@@ -31,18 +33,17 @@ AsyncConnector::~AsyncConnector() {
 }
 
 void AsyncConnector::shutdown_machinery() {
-  if (closed_) return;
+  if (closed_.exchange(true)) return;
   const double t0 = clock_->now();
   wait_all();
-  closed_ = true;
   stream_->shutdown();
   clear_cache();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard lock(stats_mutex_);
   stats_.term_seconds = clock_->now() - t0;
 }
 
 tasking::EventualPtr AsyncConnector::enqueue_ordered(tasking::TaskFn task) {
-  if (closed_) throw StateError("AsyncConnector used after close()");
+  if (closed_.load()) throw StateError("AsyncConnector used after close()");
   auto done = tasking::Eventual::make();
   auto body = [task = std::move(task), done]() mutable {
     try {
@@ -53,7 +54,7 @@ tasking::EventualPtr AsyncConnector::enqueue_ordered(tasking::TaskFn task) {
     }
   };
 
-  std::lock_guard<std::mutex> lock(order_mutex_);
+  std::lock_guard lock(order_mutex_);
   tasking::EventualPtr prev = last_op_;
   last_op_ = done;
   // FIFO chain: the new task enters the pool only when its predecessor
@@ -68,22 +69,23 @@ tasking::EventualPtr AsyncConnector::enqueue_ordered(tasking::TaskFn task) {
 
 void AsyncConnector::note_staged(std::uint64_t bytes) {
   if (options_.max_staged_bytes > 0) {
-    std::unique_lock<std::mutex> lock(staging_mutex_);
+    std::unique_lock lock(staging_mutex_);
     staging_cv_.wait(lock, [&] {
       return staged_outstanding_.load() + bytes <= options_.max_staged_bytes ||
              staged_outstanding_.load() == 0;
     });
   }
   const std::uint64_t now_staged = staged_outstanding_.fetch_add(bytes) + bytes;
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard lock(stats_mutex_);
   stats_.bytes_staged += bytes;
   stats_.staged_high_watermark = std::max(stats_.staged_high_watermark, now_staged);
 }
 
 void AsyncConnector::note_unstaged(std::uint64_t bytes) {
-  staged_outstanding_.fetch_sub(bytes);
+  const std::uint64_t before = staged_outstanding_.fetch_sub(bytes);
+  APIO_INVARIANT(before >= bytes, "staging accounting underflow");
   if (options_.max_staged_bytes > 0) {
-    std::lock_guard<std::mutex> lock(staging_mutex_);
+    std::lock_guard lock(staging_mutex_);
     staging_cv_.notify_all();
   }
 }
@@ -123,6 +125,7 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
 
   auto done = enqueue_ordered([this, ds, selection, staged, device_offset,
                                bytes = data.size(), record_completion]() mutable {
+    APIO_ASSERT_ON_STREAM();
     if (options_.staging_backend) {
       std::vector<std::byte> from_device(bytes);
       options_.staging_backend->read(device_offset, from_device);
@@ -136,7 +139,7 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
   });
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard lock(stats_mutex_);
     ++stats_.writes_enqueued;
   }
   return std::make_shared<Request>(std::move(done));
@@ -153,7 +156,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
   CacheEntry entry;
   bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::lock_guard lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       entry = it->second;
@@ -177,7 +180,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     record.cache_hit = true;
     observe(record);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      std::lock_guard lock(stats_mutex_);
       ++stats_.cache_hits;
     }
     return std::make_shared<Request>(tasking::Eventual::make_ready());
@@ -185,6 +188,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
 
   const int ranks = reported_ranks();
   auto done = enqueue_ordered([this, ds, selection, out, t0, ranks]() mutable {
+    APIO_ASSERT_ON_STREAM();
     ds.read_raw(selection, out);
     IoRecord record;
     record.op = IoOp::kRead;
@@ -196,7 +200,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     observe(record);
   });
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard lock(stats_mutex_);
     ++stats_.reads_enqueued;
     ++stats_.cache_misses;
   }
@@ -206,24 +210,28 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
 void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
   const std::string key = cache_key(ds, selection);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::lock_guard lock(cache_mutex_);
     if (cache_.count(key) > 0) return;  // already in flight
   }
   const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
   auto buffer = std::make_shared<std::vector<std::byte>>(bytes);
   auto done = enqueue_ordered([ds, selection, buffer]() mutable {
+    APIO_ASSERT_ON_STREAM();
     ds.read_raw(selection, *buffer);
   });
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::lock_guard lock(cache_mutex_);
     cache_.emplace(key, CacheEntry{done, buffer});
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard lock(stats_mutex_);
   ++stats_.prefetches_enqueued;
 }
 
 RequestPtr AsyncConnector::flush() {
-  auto done = enqueue_ordered([file = file_] { file->flush(); });
+  auto done = enqueue_ordered([file = file_] {
+    APIO_ASSERT_ON_STREAM();
+    file->flush();
+  });
   return std::make_shared<Request>(std::move(done));
 }
 
@@ -234,7 +242,7 @@ void AsyncConnector::wait_all() {
   // arbitrary — intermediate failures would vanish.
   tasking::EventualPtr tail;
   {
-    std::lock_guard<std::mutex> lock(order_mutex_);
+    std::lock_guard lock(order_mutex_);
     tail = last_op_;
   }
   tail->wait_ignore_error();
@@ -246,12 +254,12 @@ void AsyncConnector::close() {
 }
 
 AsyncStats AsyncConnector::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard lock(stats_mutex_);
   return stats_;
 }
 
 void AsyncConnector::clear_cache() {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::lock_guard lock(cache_mutex_);
   cache_.clear();
 }
 

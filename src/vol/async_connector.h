@@ -23,14 +23,15 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/debug/lock_rank.h"
 #include "tasking/execution_stream.h"
 #include "vol/connector.h"
 
@@ -51,6 +52,11 @@ struct AsyncOptions {
 };
 
 /// Counters exposed for tests, benches and the model.
+///
+/// Mutated under the connector's stats mutex by application threads
+/// (enqueue paths) AND the background stream (staging accounting), so
+/// they must never be read field-by-field while the connector is live;
+/// stats() returns a coherent snapshot taken under the same mutex.
 struct AsyncStats {
   std::uint64_t writes_enqueued = 0;
   std::uint64_t reads_enqueued = 0;
@@ -84,6 +90,8 @@ class AsyncConnector final : public Connector {
   void wait_all() override;
   void close() override;
 
+  /// Coherent snapshot of the counters; safe to call from any thread
+  /// while the background stream is running.
   AsyncStats stats() const;
 
   /// Drops any unconsumed prefetch buffers.
@@ -103,20 +111,23 @@ class AsyncConnector final : public Connector {
   tasking::PoolPtr pool_;
   std::unique_ptr<tasking::ExecutionStream> stream_;
 
-  std::mutex order_mutex_;
+  debug::RankedMutex<debug::LockRank::kVolConnector> order_mutex_;
   tasking::EventualPtr last_op_;
 
-  std::mutex cache_mutex_;
+  debug::RankedMutex<debug::LockRank::kVolCache> cache_mutex_;
   std::map<std::string, CacheEntry> cache_;
 
-  mutable std::mutex stats_mutex_;
+  mutable debug::RankedMutex<debug::LockRank::kCounters> stats_mutex_;
   AsyncStats stats_;
   std::atomic<std::uint64_t> staged_outstanding_{0};
   std::atomic<std::uint64_t> staging_device_offset_{0};
-  std::condition_variable staging_cv_;
-  std::mutex staging_mutex_;
+  std::condition_variable_any staging_cv_;
+  debug::RankedMutex<debug::LockRank::kVolStaging> staging_mutex_;
 
-  bool closed_ = false;
+  /// Set by shutdown_machinery(); read by every entry point.  Atomic:
+  /// a close() racing in-flight operations must fail them with
+  /// StateError, not tear a plain bool.
+  std::atomic<bool> closed_{false};
 
   /// Chains `task` behind the connector's FIFO tail; returns its eventual.
   tasking::EventualPtr enqueue_ordered(tasking::TaskFn task);

@@ -8,6 +8,7 @@
 // DLL the paper evaluates.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -57,9 +58,15 @@ class Connector {
   virtual void close() = 0;
 
   /// Number of ranks the caller reports for IoRecords (for the model's
-  /// scaling features).  Defaults to 1.
-  void set_reported_ranks(int ranks) { reported_ranks_ = ranks; }
-  int reported_ranks() const { return reported_ranks_; }
+  /// scaling features).  Defaults to 1.  Atomic: the adaptive connector
+  /// re-tags its inner connectors on every routed call, possibly from
+  /// several application threads at once.
+  void set_reported_ranks(int ranks) {
+    reported_ranks_.store(ranks, std::memory_order_relaxed);
+  }
+  int reported_ranks() const {
+    return reported_ranks_.load(std::memory_order_relaxed);
+  }
 
   /// Installs the model feedback hook (Fig. 2).  May be null.
   void set_observer(IoObserverPtr observer) { observer_ = std::move(observer); }
@@ -72,7 +79,7 @@ class Connector {
 
  private:
   IoObserverPtr observer_;
-  int reported_ranks_ = 1;
+  std::atomic<int> reported_ranks_{1};
 };
 
 using ConnectorPtr = std::shared_ptr<Connector>;

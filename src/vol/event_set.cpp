@@ -6,17 +6,17 @@ namespace apio::vol {
 
 void EventSet::insert(RequestPtr request) {
   APIO_REQUIRE(request != nullptr, "EventSet::insert(null)");
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   pending_.push_back(std::move(request));
 }
 
 std::size_t EventSet::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return pending_.size();
 }
 
 bool EventSet::test() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   for (const auto& r : pending_) {
     if (!r->test()) return false;
   }
@@ -26,7 +26,7 @@ bool EventSet::test() const {
 void EventSet::wait() {
   std::vector<RequestPtr> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     batch.swap(pending_);
   }
   std::vector<std::exception_ptr> new_errors;
@@ -37,17 +37,17 @@ void EventSet::wait() {
       new_errors.push_back(std::current_exception());
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   errors_.insert(errors_.end(), new_errors.begin(), new_errors.end());
 }
 
 std::size_t EventSet::num_errors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return errors_.size();
 }
 
 std::vector<std::string> EventSet::error_messages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<std::string> messages;
   messages.reserve(errors_.size());
   for (const auto& e : errors_) {
@@ -63,12 +63,12 @@ std::vector<std::string> EventSet::error_messages() const {
 }
 
 void EventSet::rethrow_first_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   if (!errors_.empty()) std::rethrow_exception(errors_.front());
 }
 
 void EventSet::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   pending_.clear();
   errors_.clear();
 }

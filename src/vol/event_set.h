@@ -8,10 +8,10 @@
 #pragma once
 
 #include <exception>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/debug/lock_rank.h"
 #include "vol/request.h"
 
 namespace apio::vol {
@@ -49,7 +49,7 @@ class EventSet {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
+  mutable debug::RankedMutex<debug::LockRank::kVolEventSet> mutex_;
   std::vector<RequestPtr> pending_;
   std::vector<std::exception_ptr> errors_;
 };

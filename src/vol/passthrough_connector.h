@@ -7,9 +7,8 @@
 // the template for user-written interposer connectors.
 #pragma once
 
-#include <mutex>
-
 #include "common/clock.h"
+#include "common/debug/lock_rank.h"
 #include "vol/connector.h"
 
 namespace apio::vol {
@@ -48,7 +47,7 @@ class PassthroughConnector final : public Connector {
   ConnectorPtr inner_;
   WallClock wall_clock_;
   const Clock* clock_;
-  mutable std::mutex mutex_;
+  mutable debug::RankedMutex<debug::LockRank::kCounters> mutex_;
   PassthroughStats stats_;
 };
 

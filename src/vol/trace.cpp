@@ -153,7 +153,7 @@ void TraceRecorder::record(TraceEvent::Kind kind, const h5::Dataset* ds,
   event.bytes = bytes;
   event.issue_time = t0 - start_;
   event.blocking_seconds = clock_->now() - t0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   trace_.append(std::move(event));
 }
 
@@ -188,7 +188,7 @@ RequestPtr TraceRecorder::flush() {
 }
 
 Trace TraceRecorder::trace() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return trace_;
 }
 

@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/debug/lock_rank.h"
 #include "vol/connector.h"
 
 namespace apio::vol {
@@ -75,7 +75,7 @@ class TraceRecorder final : public Connector {
   WallClock wall_clock_;
   const Clock* clock_;
   double start_;
-  mutable std::mutex mutex_;
+  mutable debug::RankedMutex<debug::LockRank::kVolTrace> mutex_;
   Trace trace_;
 
   void record(TraceEvent::Kind kind, const h5::Dataset* ds,

@@ -71,7 +71,9 @@ TEST(AdaptiveConnectorTest, ConvergesToAsyncWhenComputeCoversIo) {
 
   model::IoMode last_mode = model::IoMode::kSync;
   for (int i = 0; i < 10; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    // Simulated compute phase (the paper's t_comp).
+    std::this_thread::sleep_for(  // apio-lint: allow(no-test-sleep)
+        std::chrono::milliseconds(40));
     connector.on_compute_phase(0.040);
     last_mode = connector.planned_mode(chunk.size());
     connector.dataset_write(

@@ -195,7 +195,9 @@ TEST(ConsistencyTest, ThroughputGainMatchesEpochAlgebra) {
     std::vector<std::uint8_t> data(bytes, 1);
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < iterations; ++i) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(compute));
+      // Simulated compute phase.
+      std::this_thread::sleep_for(  // apio-lint: allow(no-test-sleep)
+          std::chrono::duration<double>(compute));
       conn->dataset_write(
           ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * bytes}, {bytes}),
           std::as_bytes(std::span<const std::uint8_t>(data)));

@@ -16,13 +16,27 @@
 namespace apio {
 namespace {
 
+// Sanitizer builds define APIO_STRESS_LITE (tests/CMakeLists.txt):
+// every operation is ~10-20x slower under TSan/ASan, so iteration
+// counts drop while thread counts — the source of interleavings —
+// stay the same.
+constexpr int stress_iters(int full, int lite) {
+#if defined(APIO_STRESS_LITE)
+  (void)full;
+  return lite;
+#else
+  (void)lite;
+  return full;
+#endif
+}
+
 h5::FilePtr mem_file() {
   return h5::File::create(std::make_shared<storage::MemoryBackend>());
 }
 
 TEST(StressTest, ManyThreadsOneAsyncConnector) {
   constexpr int kThreads = 8;
-  constexpr int kOpsPerThread = 50;
+  constexpr int kOpsPerThread = stress_iters(50, 8);
   constexpr std::uint64_t kElems = 64;
 
   auto file = mem_file();
@@ -63,6 +77,7 @@ TEST(StressTest, ManyThreadsOneAsyncConnector) {
 
 TEST(StressTest, ConcurrentMetadataAndDataTraffic) {
   constexpr int kThreads = 6;
+  constexpr int kDatasetsPerThread = stress_iters(20, 6);
   auto file = mem_file();
   vol::AsyncConnector connector(file);
 
@@ -70,7 +85,7 @@ TEST(StressTest, ConcurrentMetadataAndDataTraffic) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       auto g = file->root().create_group("thread" + std::to_string(t));
-      for (int d = 0; d < 20; ++d) {
+      for (int d = 0; d < kDatasetsPerThread; ++d) {
         auto ds = g.create_dataset("d" + std::to_string(d), h5::Datatype::kInt32, {16});
         std::vector<std::int32_t> values(16, t * 100 + d);
         connector.dataset_write(ds, h5::Selection::all(),
@@ -83,9 +98,11 @@ TEST(StressTest, ConcurrentMetadataAndDataTraffic) {
 
   for (int t = 0; t < kThreads; ++t) {
     auto g = file->root().open_group("thread" + std::to_string(t));
-    ASSERT_EQ(g.dataset_names().size(), 20u);
-    auto v = g.open_dataset("d19").read_vector<std::int32_t>(h5::Selection::all());
-    EXPECT_EQ(v[0], t * 100 + 19);
+    ASSERT_EQ(g.dataset_names().size(), static_cast<std::size_t>(kDatasetsPerThread));
+    const int last = kDatasetsPerThread - 1;
+    auto v = g.open_dataset("d" + std::to_string(last))
+                 .read_vector<std::int32_t>(h5::Selection::all());
+    EXPECT_EQ(v[0], t * 100 + last);
   }
   connector.close();
 }
@@ -99,7 +116,8 @@ TEST(StressTest, SustainedPipelineWithBackpressure) {
 
   std::vector<std::uint8_t> chunk(1024, 7);
   vol::EventSet es;
-  for (int i = 0; i < 512; ++i) {
+  constexpr int kChunks = stress_iters(512, 96);
+  for (int i = 0; i < kChunks; ++i) {
     es.insert(connector.dataset_write(
         ds, h5::Selection::offsets({static_cast<std::uint64_t>(i) * 1024}, {1024}),
         std::as_bytes(std::span<const std::uint8_t>(chunk))));
@@ -111,9 +129,9 @@ TEST(StressTest, SustainedPipelineWithBackpressure) {
 }
 
 TEST(StressTest, PmpiHighRankCountCollectives) {
-  constexpr int kRanks = 32;
+  constexpr int kRanks = stress_iters(32, 12);
   pmpi::run(kRanks, [](pmpi::Communicator& comm) {
-    for (int round = 0; round < 10; ++round) {
+    for (int round = 0; round < stress_iters(10, 4); ++round) {
       const std::uint64_t sum = comm.allreduce_sum(std::uint64_t{1});
       EXPECT_EQ(sum, static_cast<std::uint64_t>(kRanks));
       auto all = comm.allgather(comm.rank());
@@ -126,10 +144,11 @@ TEST(StressTest, PmpiHighRankCountCollectives) {
 TEST(StressTest, AdvisorUnderConcurrentObservations) {
   auto advisor = std::make_shared<model::ModeAdvisor>();
   constexpr int kThreads = 4;
+  constexpr int kObservations = stress_iters(100, 30);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      for (int i = 1; i <= 100; ++i) {
+      for (int i = 1; i <= kObservations; ++i) {
         vol::IoRecord r;
         r.op = vol::IoOp::kWrite;
         r.bytes = static_cast<std::uint64_t>(1000 * i + t);
@@ -148,7 +167,8 @@ TEST(StressTest, AdvisorUnderConcurrentObservations) {
     });
   }
   for (auto& th : threads) th.join();
-  EXPECT_EQ(advisor->history().size(), static_cast<std::size_t>(kThreads) * 100);
+  EXPECT_EQ(advisor->history().size(),
+            static_cast<std::size_t>(kThreads) * kObservations);
   EXPECT_TRUE(advisor->sync_ready());
   EXPECT_TRUE(advisor->async_ready());
 }

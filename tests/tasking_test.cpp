@@ -67,7 +67,9 @@ TEST(EventualTest, MultipleContinuationsAllRun) {
 TEST(EventualTest, WaitBlocksUntilSetFromAnotherThread) {
   auto e = Eventual::make();
   std::thread setter([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Delay so wait() below actually blocks.
+    std::this_thread::sleep_for(  // apio-lint: allow(no-test-sleep)
+        std::chrono::milliseconds(20));
     e->set();
   });
   e->wait();
@@ -122,7 +124,9 @@ TEST(PoolTest, CloseReleasesBlockedConsumer) {
     auto t = pool.pop();
     released = !t.has_value();
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Delay so the consumer is parked in pop() when close() lands.
+  std::this_thread::sleep_for(  // apio-lint: allow(no-test-sleep)
+      std::chrono::milliseconds(20));
   pool.close();
   consumer.join();
   EXPECT_TRUE(released.load());
@@ -194,7 +198,9 @@ TEST(SchedulerTest, DependencyOrdering) {
   Scheduler sched(4);
   std::atomic<int> stage{0};
   auto first = sched.submit([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Widen the race window a broken dependency chain would hit.
+    std::this_thread::sleep_for(  // apio-lint: allow(no-test-sleep)
+        std::chrono::milliseconds(10));
     stage = 1;
   });
   auto second = sched.submit(

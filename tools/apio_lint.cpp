@@ -1,0 +1,224 @@
+// apio_lint: repo-specific concurrency-hygiene lint.
+//
+// A deliberately dependency-free (no libclang) token/line-based checker
+// for rules the compiler cannot enforce but the concurrency model
+// requires (DESIGN.md, "Concurrency model"):
+//
+//   raw-mutex     src/tasking, src/pmpi and src/vol must synchronise
+//                 through debug::RankedMutex so the global lock-rank
+//                 order is checked at runtime.  Raw std::mutex /
+//                 std::condition_variable (whose wait() forces a raw
+//                 std::mutex) are rejected; std::condition_variable_any
+//                 pairs with RankedMutex and is fine.
+//   no-detach     detached threads outlive scope-based reasoning and
+//                 every sanitizer's happens-before graph; forbidden
+//                 everywhere in src/ and tests/.
+//   no-test-sleep wall-clock sleeps make tests flaky and slow; tests
+//                 must synchronise on events.  Sleeps that *simulate
+//                 compute phases* (the paper's methodology) are opted
+//                 in per line with "apio-lint: allow(no-test-sleep)".
+//   pragma-once   every header under src/ uses #pragma once (the
+//                 include-guard style of this repo).
+//
+// Any rule can be waived for one line with a trailing comment:
+//   // apio-lint: allow(<rule>)
+//
+// Usage: apio_lint <repo-root>
+// Exit code 0 when clean, 1 when violations were found (wired into
+// CTest as the `lint` label, so tier-1 fails on violations).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void report(const fs::path& file, std::size_t line, std::string rule,
+            std::string message) {
+  g_violations.push_back(
+      {file.generic_string(), line, std::move(rule), std::move(message)});
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// True when `line` carries an "apio-lint: allow(<rule>)" waiver.
+bool waived(std::string_view line, std::string_view rule) {
+  const std::string marker = "apio-lint: allow(" + std::string(rule) + ")";
+  return contains(line, marker);
+}
+
+/// Strips // and /* */ comments (tracking block state across lines) so
+/// rule tokens inside prose do not count.  String literals are not
+/// parsed; none of the rule tokens plausibly appears inside one.
+std::string strip_comments(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size();) {
+    if (in_block) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (line.compare(i, 2, "/*") == 0) {
+      in_block = true;
+      i += 2;
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) break;
+    out.push_back(line[i]);
+    ++i;
+  }
+  return out;
+}
+
+/// Token match: `needle` not preceded/followed by an identifier char.
+bool has_token(std::string_view code, std::string_view needle) {
+  auto is_ident = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool path_under(const fs::path& file, const fs::path& dir) {
+  const std::string f = file.generic_string();
+  const std::string d = dir.generic_string();
+  return f.size() > d.size() && f.compare(0, d.size(), d) == 0 &&
+         f[d.size()] == '/';
+}
+
+void lint_file(const fs::path& root, const fs::path& file) {
+  const bool in_ranked_scope = path_under(file, root / "src" / "tasking") ||
+                               path_under(file, root / "src" / "pmpi") ||
+                               path_under(file, root / "src" / "vol");
+  const bool in_tests = path_under(file, root / "tests");
+  const bool is_header = file.extension() == ".h";
+
+  std::ifstream in(file);
+  if (!in) {
+    report(file, 0, "io", "cannot open file");
+    return;
+  }
+
+  bool saw_pragma_once = false;
+  bool in_block_comment = false;
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (contains(raw, "#pragma once")) saw_pragma_once = true;
+    const std::string code = strip_comments(raw, in_block_comment);
+    if (code.empty()) continue;
+
+    if (in_ranked_scope) {
+      for (const char* bad : {"std::mutex", "std::recursive_mutex",
+                              "std::timed_mutex", "std::shared_mutex",
+                              "std::recursive_timed_mutex"}) {
+        if (has_token(code, bad) && !waived(raw, "raw-mutex")) {
+          report(file, lineno, "raw-mutex",
+                 std::string(bad) +
+                     " is forbidden here; use apio::debug::RankedMutex so "
+                     "the lock-rank order is enforced");
+        }
+      }
+      if (has_token(code, "std::condition_variable") &&
+          !waived(raw, "raw-mutex")) {
+        report(file, lineno, "raw-mutex",
+               "std::condition_variable waits on a raw std::mutex; use "
+               "std::condition_variable_any with a RankedMutex");
+      }
+    }
+
+    if (contains(code, ".detach()") && !waived(raw, "no-detach")) {
+      report(file, lineno, "no-detach",
+             "detached threads escape shutdown and sanitizer analysis; "
+             "join every thread");
+    }
+
+    if (in_tests) {
+      for (const char* bad : {"sleep_for", "sleep_until", "usleep"}) {
+        if (has_token(code, bad) && !waived(raw, "no-test-sleep")) {
+          report(file, lineno, "no-test-sleep",
+                 "wall-clock sleeps make tests flaky; synchronise on "
+                 "events, or annotate a compute-phase simulation with "
+                 "apio-lint: allow(no-test-sleep)");
+        }
+      }
+    }
+  }
+
+  if (is_header && !saw_pragma_once) {
+    report(file, 1, "pragma-once", "headers must use #pragma once");
+  }
+}
+
+void walk(const fs::path& root, const fs::path& dir) {
+  if (!fs::exists(dir)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".h" || ext == ".cpp") lint_file(root, entry.path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: apio_lint <repo-root>\n");
+    return 2;
+  }
+  std::error_code ec;
+  const fs::path root = fs::canonical(argv[1], ec);
+  if (ec) {
+    std::fprintf(stderr, "apio_lint: cannot open %s: %s\n", argv[1],
+                 ec.message().c_str());
+    return 2;
+  }
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "apio_lint: %s has no src/ directory\n",
+                 root.generic_string().c_str());
+    return 2;
+  }
+
+  walk(root, root / "src");
+  walk(root, root / "tests");
+
+  for (const auto& v : g_violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!g_violations.empty()) {
+    std::fprintf(stderr, "apio_lint: %zu violation(s)\n", g_violations.size());
+    return 1;
+  }
+  std::printf("apio_lint: clean\n");
+  return 0;
+}
