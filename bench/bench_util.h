@@ -4,20 +4,46 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
 #include "model/advisor.h"
+#include "obs/metrics.h"
 #include "sim/epoch_sim.h"
 
 namespace apio::bench {
 
-/// Prints a banner naming the figure being reproduced.
+/// Prints a banner naming the figure being reproduced.  Setting
+/// APIO_OBS=1 (or requesting metrics JSON via APIO_BENCH_JSON) turns the
+/// observability registry on for the bench run.
 inline void banner(const std::string& title, const std::string& detail) {
+  if (std::getenv("APIO_OBS") != nullptr ||
+      std::getenv("APIO_BENCH_JSON") != nullptr) {
+    obs::set_enabled(true);
+  }
   std::printf("\n================================================================\n");
   std::printf("%s\n%s\n", title.c_str(), detail.c_str());
   std::printf("================================================================\n");
+}
+
+/// Appends this bench's metrics-registry snapshot as one JSON line to
+/// the file named by APIO_BENCH_JSON (no-op when the variable is
+/// unset).  Call at the end of a bench main() so runs can be diffed:
+///   APIO_BENCH_JSON=bench.jsonl ./build/bench/fig1_scenarios
+inline void record_bench_metrics(const std::string& bench_name) {
+  const char* path = std::getenv("APIO_BENCH_JSON");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot append to APIO_BENCH_JSON=%s\n", path);
+    return;
+  }
+  out << "{\"bench\":\"" << bench_name
+      << "\",\"metrics\":" << obs::Registry::instance().snapshot().to_json()
+      << "}\n";
 }
 
 /// One row of a scaling figure: both I/O modes plus the model estimate.

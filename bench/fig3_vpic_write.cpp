@@ -48,5 +48,6 @@ int main() {
                    {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048});
   apio::run_system(apio::sim::SystemSpec::cori_haswell(),
                    {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  apio::bench::record_bench_metrics("fig3_vpic_write");
   return 0;
 }

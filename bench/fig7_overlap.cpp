@@ -71,5 +71,6 @@ int main() {
       "\nshape check: async total stays near the compute floor until the\n"
       "compute phase is too short to overlap (1 step/phase), where both\n"
       "modes pay the full I/O cost (paper Fig. 7).\n");
+  apio::bench::record_bench_metrics("fig7_overlap");
   return 0;
 }

@@ -33,8 +33,8 @@ int main() {
   auto advisor = std::make_shared<model::ModeAdvisor>();
   vol::NativeConnector sync_conn(file);
   vol::AsyncConnector async_conn(file);
-  sync_conn.set_observer(advisor);
-  async_conn.set_observer(advisor);
+  sync_conn.add_observer(advisor);
+  async_conn.add_observer(advisor);
 
   constexpr std::uint64_t kBaseBytes = 768 * kKiB;
   constexpr int kEpochs = 12;

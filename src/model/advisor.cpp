@@ -14,6 +14,9 @@ ModeAdvisor::ModeAdvisor(AdvisorOptions options)
 }
 
 void ModeAdvisor::on_io(const vol::IoRecord& record) {
+  // Prefetch hints and flushes move no caller-timed payload; letting
+  // them into the history would pollute the transfer-rate fits.
+  if (record.op == vol::IoOp::kPrefetch || record.op == vol::IoOp::kFlush) return;
   // Async reads completed in the background report 0 blocking time and
   // carry no rate information for the caller-visible cost; skip them.
   if (record.blocking_seconds <= 0.0 || record.bytes == 0) return;

@@ -1,0 +1,40 @@
+#include "obs/metrics_observer.h"
+
+namespace apio::obs {
+
+MetricsObserver::MetricsObserver(std::string prefix)
+    : bytes_written_(Registry::instance().counter(prefix + ".bytes_written")),
+      bytes_read_(Registry::instance().counter(prefix + ".bytes_read")),
+      writes_(Registry::instance().counter(prefix + ".writes")),
+      reads_(Registry::instance().counter(prefix + ".reads")),
+      prefetches_(Registry::instance().counter(prefix + ".prefetches")),
+      flushes_(Registry::instance().counter(prefix + ".flushes")),
+      cache_hits_(Registry::instance().counter(prefix + ".cache_hits")),
+      async_ops_(Registry::instance().counter(prefix + ".async_ops")),
+      blocking_(Registry::instance().histogram(prefix + ".blocking_seconds")),
+      completion_(Registry::instance().histogram(prefix + ".completion_seconds")) {}
+
+void MetricsObserver::on_io(const IoRecord& record) {
+  switch (record.op) {
+    case IoOp::kWrite:
+      writes_.increment();
+      bytes_written_.add(record.bytes);
+      break;
+    case IoOp::kRead:
+      reads_.increment();
+      bytes_read_.add(record.bytes);
+      break;
+    case IoOp::kPrefetch:
+      prefetches_.increment();
+      break;
+    case IoOp::kFlush:
+      flushes_.increment();
+      break;
+  }
+  if (record.cache_hit) cache_hits_.increment();
+  if (record.async) async_ops_.increment();
+  blocking_.record_seconds(record.blocking_seconds);
+  completion_.record_seconds(record.completion_seconds);
+}
+
+}  // namespace apio::obs

@@ -1,0 +1,56 @@
+#include "obs/record.h"
+
+#include <algorithm>
+
+namespace apio::obs {
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kWrite: return "write";
+    case IoOp::kRead: return "read";
+    case IoOp::kPrefetch: return "prefetch";
+    case IoOp::kFlush: return "flush";
+  }
+  return "?";
+}
+
+void CompositeObserver::add(IoObserverPtr observer) {
+  if (observer == nullptr) return;
+  std::lock_guard lock(mutex_);
+  observers_.push_back(std::move(observer));
+  refresh_flags_locked();
+}
+
+void CompositeObserver::remove(const IoObserverPtr& observer) {
+  std::lock_guard lock(mutex_);
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+  refresh_flags_locked();
+}
+
+void CompositeObserver::clear() {
+  std::lock_guard lock(mutex_);
+  observers_.clear();
+  refresh_flags_locked();
+}
+
+std::size_t CompositeObserver::size() const {
+  std::lock_guard lock(mutex_);
+  return observers_.size();
+}
+
+void CompositeObserver::refresh_flags_locked() {
+  count_.store(observers_.size(), std::memory_order_relaxed);
+  bool detail = false;
+  for (const auto& o : observers_) detail = detail || o->wants_detail();
+  wants_detail_.store(detail, std::memory_order_relaxed);
+}
+
+void CompositeObserver::on_io(const IoRecord& record) {
+  // Emission holds the list guard: observers' on_io take only their own
+  // leaf locks and never call back into the composite, so no cycle.
+  std::lock_guard lock(mutex_);
+  for (const auto& o : observers_) o->on_io(record);
+}
+
+}  // namespace apio::obs

@@ -1,0 +1,112 @@
+// The unified I/O observation stream: one record shape for every
+// consumer of "runtime tracking of I/O calls" (the paper's Fig. 2
+// methodology), behind a composable observer API.
+//
+// Before this layer existed the repo had three parallel bespoke paths —
+// the model's IoRecord feedback hook, the TraceRecorder's private
+// TraceEvent list, and AsyncStats counters.  They now all subscribe to
+// the same stream: a VOL connector emits one IoRecord per container
+// operation (write, read, prefetch, flush) and a CompositeObserver
+// fans it out to however many subscribers are attached — the model's
+// history, a trace sink, the metrics registry, a user probe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apio::obs {
+
+/// Operation kind of one observed container call.
+enum class IoOp : std::uint8_t { kWrite = 0, kRead = 1, kPrefetch = 2, kFlush = 3 };
+
+const char* to_string(IoOp op);
+
+/// One observed container operation — the unified record shape shared
+/// by the model history, trace recording and the metrics registry.
+struct IoRecord {
+  IoOp op = IoOp::kWrite;
+  /// Container path of the dataset ("" for flush).  Only filled when an
+  /// attached observer reports wants_detail() — building the string
+  /// costs a reverse path lookup the model does not need.
+  std::string dataset_path;
+  /// Compact selection token (vol::selection_to_token form); empty when
+  /// no observer wants detail, or for flush.
+  std::string selection;
+  /// Payload bytes moved by this rank's call.
+  std::uint64_t bytes = 0;
+  /// Number of participating ranks the caller reports for the phase.
+  int ranks = 1;
+  /// Issue timestamp in seconds on the emitting connector's clock
+  /// (absolute; trace sinks rebase against their own start time).
+  double issue_time = 0.0;
+  /// Seconds the *caller* was blocked.  For sync I/O this is the full
+  /// transfer; for async it is the transactional (staging-copy) overhead.
+  double blocking_seconds = 0.0;
+  /// Seconds until the data was resident on the target storage
+  /// (equals blocking_seconds for sync I/O).
+  double completion_seconds = 0.0;
+  /// Whether the async path served/handled this transfer.
+  bool async = false;
+  /// True when a read was served from the prefetch cache.
+  bool cache_hit = false;
+};
+
+/// Observer interface; implementations must be thread-safe (async
+/// completions invoke it from the background stream).
+class IoObserver {
+ public:
+  virtual ~IoObserver() = default;
+  virtual void on_io(const IoRecord& record) = 0;
+
+  /// True when this observer consumes dataset_path/selection.
+  /// Connectors skip building those strings when no attached observer
+  /// wants them, keeping the model-only fast path string-free.
+  virtual bool wants_detail() const { return false; }
+};
+
+using IoObserverPtr = std::shared_ptr<IoObserver>;
+
+/// Fans one record stream out to any number of subscribers.  The
+/// redesign that replaces the single Connector::set_observer() slot:
+/// connectors own one CompositeObserver and expose add_observer().
+///
+/// Thread-safe: observers may be added/removed while records flow (the
+/// list is guarded; emission iterates under the guard, which is fine
+/// because records are emitted at I/O-operation granularity).
+class CompositeObserver final : public IoObserver {
+ public:
+  void add(IoObserverPtr observer);
+
+  /// Removes one previously added observer (by identity).  Unknown
+  /// pointers are ignored.
+  void remove(const IoObserverPtr& observer);
+
+  void clear();
+
+  std::size_t size() const;
+
+  /// Lock-free emptiness probe for the emission fast path.
+  bool empty() const { return count_.load(std::memory_order_relaxed) == 0; }
+
+  bool wants_detail() const override {
+    return wants_detail_.load(std::memory_order_relaxed);
+  }
+
+  void on_io(const IoRecord& record) override;
+
+ private:
+  void refresh_flags_locked();
+
+  mutable std::mutex mutex_;
+  std::vector<IoObserverPtr> observers_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> wants_detail_{false};
+};
+
+using CompositeObserverPtr = std::shared_ptr<CompositeObserver>;
+
+}  // namespace apio::obs

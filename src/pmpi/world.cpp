@@ -8,6 +8,8 @@
 #include "common/debug/invariant.h"
 #include "common/debug/thread_role.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace apio::pmpi {
 
@@ -23,7 +25,26 @@ Communicator World::comm(int rank) {
   return Communicator(this, rank);
 }
 
+namespace {
+
+obs::Histogram& barrier_wait_hist() {
+  static auto& h = obs::Registry::instance().histogram("pmpi.barrier_wait_seconds");
+  return h;
+}
+
+obs::Counter& barriers_counter() {
+  static auto& c = obs::Registry::instance().counter("pmpi.barriers");
+  return c;
+}
+
+}  // namespace
+
 void World::barrier() {
+  // Time spent here is rank-skew wait — the collective synchronization
+  // cost the paper's Fig. 7 overlap analysis charges against I/O modes.
+  const bool timed = obs::enabled();
+  const double t0 = timed ? obs::steady_seconds() : 0.0;
+  obs::ScopedSpan span("barrier", obs::Category::kPmpi);
   std::unique_lock lock(barrier_mutex_);
   const std::uint64_t my_generation = barrier_generation_;
   APIO_INVARIANT(barrier_arrived_ >= 0 && barrier_arrived_ < size_,
@@ -39,6 +60,10 @@ void World::barrier() {
     // never by a stale notify of an earlier round.
     APIO_INVARIANT(barrier_generation_ > my_generation,
                    "barrier released into an earlier generation");
+  }
+  if (timed) {
+    barrier_wait_hist().record_seconds(obs::steady_seconds() - t0);
+    barriers_counter().increment();
   }
 }
 
@@ -201,6 +226,9 @@ void run(int size, const std::function<void(Communicator&)>& body) {
       // Tag the thread with its rank so APIO_ASSERT_ON_RANK catches a
       // communicator leaking to the wrong rank thread (or to a stream).
       debug::ScopedThreadRole role(debug::ThreadRole::kPmpiRank, r, &world);
+      // Rank-tag the observability layer too: spans land in per-rank
+      // trace lanes and counter shards stripe by rank.
+      obs::set_thread_rank(r);
       Communicator comm = world.comm(r);
       try {
         body(comm);

@@ -4,6 +4,9 @@
 
 #include "common/debug/invariant.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "storage/obs_metrics.h"
 
 namespace apio::storage {
 
@@ -14,6 +17,8 @@ std::uint64_t MemoryBackend::size() const {
 
 void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> out) {
   APIO_INVARIANT(offset + out.size() >= offset, "read range overflows offset space");
+  obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
+                  &storage_bytes_read(), out.size());
   std::lock_guard lock(mutex_);
   if (offset + out.size() > data_.size()) {
     throw IoError("memory backend: read past end of object (offset " +
@@ -26,6 +31,8 @@ void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> out) {
 
 void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
   APIO_INVARIANT(offset + data.size() >= offset, "write range overflows offset space");
+  obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
+                  &storage_bytes_written(), data.size());
   std::lock_guard lock(mutex_);
   const std::uint64_t end = offset + data.size();
   if (end > data_.size()) data_.resize(end);

@@ -1,0 +1,30 @@
+// Shared registry entries for leaf storage backends (memory, posix).
+// Wrapper backends (throttled, faulty) delegate to a leaf and must NOT
+// record here — one physical transfer, one count.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace apio::storage {
+
+inline obs::Histogram& storage_read_hist() {
+  static auto& h = obs::Registry::instance().histogram("storage.read_seconds");
+  return h;
+}
+
+inline obs::Histogram& storage_write_hist() {
+  static auto& h = obs::Registry::instance().histogram("storage.write_seconds");
+  return h;
+}
+
+inline obs::Counter& storage_bytes_read() {
+  static auto& c = obs::Registry::instance().counter("storage.bytes_read");
+  return c;
+}
+
+inline obs::Counter& storage_bytes_written() {
+  static auto& c = obs::Registry::instance().counter("storage.bytes_written");
+  return c;
+}
+
+}  // namespace apio::storage

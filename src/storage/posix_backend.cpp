@@ -9,6 +9,9 @@
 
 #include "common/debug/invariant.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "storage/obs_metrics.h"
 
 namespace apio::storage {
 namespace {
@@ -42,6 +45,8 @@ std::uint64_t PosixBackend::size() const {
 
 void PosixBackend::read(std::uint64_t offset, std::span<std::byte> out) {
   APIO_INVARIANT(offset + out.size() >= offset, "read range overflows offset space");
+  obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
+                  &storage_bytes_read(), out.size());
   std::size_t done = 0;
   while (done < out.size()) {
     const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
@@ -60,6 +65,8 @@ void PosixBackend::read(std::uint64_t offset, std::span<std::byte> out) {
 
 void PosixBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
   APIO_INVARIANT(offset + data.size() >= offset, "write range overflows offset space");
+  obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
+                  &storage_bytes_written(), data.size());
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,

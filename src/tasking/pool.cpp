@@ -2,8 +2,17 @@
 
 #include "common/debug/invariant.h"
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace apio::tasking {
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static auto& g = obs::Registry::instance().gauge("tasking.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 void Pool::push(TaskFn task) {
   {
@@ -11,6 +20,11 @@ void Pool::push(TaskFn task) {
     if (closed_) throw StateError("Pool::push() on closed pool");
     tasks_.push_back(std::move(task));
     ++accepted_;
+    if (obs::enabled()) {
+      auto& gauge = queue_depth_gauge();
+      gauge.set(static_cast<std::int64_t>(tasks_.size()));
+      gauge.note_watermark();
+    }
   }
   cv_.notify_one();
 }
@@ -23,6 +37,9 @@ std::optional<TaskFn> Pool::pop() {
   tasks_.pop_front();
   ++drained_;
   APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
+  if (obs::enabled()) {
+    queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
+  }
   return task;
 }
 
@@ -33,6 +50,9 @@ std::optional<TaskFn> Pool::try_pop() {
   tasks_.pop_front();
   ++drained_;
   APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
+  if (obs::enabled()) {
+    queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
+  }
   return task;
 }
 

@@ -12,8 +12,20 @@ AdaptiveConnector::AdaptiveConnector(h5::FilePtr file, model::ModeAdvisorPtr adv
       sync_(file),
       async_(std::move(file), async_options) {
   // Both inner connectors feed the same feedback loop (Fig. 2).
-  sync_.set_observer(advisor_);
-  async_.set_observer(advisor_);
+  sync_.add_observer(advisor_);
+  async_.add_observer(advisor_);
+}
+
+void AdaptiveConnector::add_observer(IoObserverPtr observer) {
+  // Records originate in the routed-to inner connectors; subscribe the
+  // observer where the emission actually happens.
+  sync_.add_observer(observer);
+  async_.add_observer(std::move(observer));
+}
+
+void AdaptiveConnector::remove_observer(const IoObserverPtr& observer) {
+  sync_.remove_observer(observer);
+  async_.remove_observer(observer);
 }
 
 model::IoMode AdaptiveConnector::planned_mode(std::uint64_t bytes) const {

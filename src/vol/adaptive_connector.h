@@ -49,6 +49,11 @@ class AdaptiveConnector final : public Connector {
   void wait_all() override;
   void close() override;
 
+  /// Subscriptions go to both inner connectors — they, not the router,
+  /// emit the IoRecords.
+  void add_observer(IoObserverPtr observer) override;
+  void remove_observer(const IoObserverPtr& observer) override;
+
   /// Reports a completed compute phase (feeds t_comp of Eq. 2).
   void on_compute_phase(double seconds) { advisor_->record_compute(seconds); }
 

@@ -6,8 +6,44 @@
 #include "common/debug/invariant.h"
 #include "common/debug/thread_role.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "vol/selection_token.h"
 
 namespace apio::vol {
+namespace {
+
+obs::Histogram& stage_hist() {
+  static auto& h = obs::Registry::instance().histogram("vol.async.stage_seconds");
+  return h;
+}
+
+obs::Histogram& execute_hist() {
+  static auto& h = obs::Registry::instance().histogram("vol.async.execute_seconds");
+  return h;
+}
+
+obs::Counter& staged_bytes_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.bytes_staged");
+  return c;
+}
+
+obs::Counter& executed_bytes_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.bytes_executed");
+  return c;
+}
+
+obs::Counter& prefetch_hits_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.prefetch_hits");
+  return c;
+}
+
+obs::Counter& prefetch_misses_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.prefetch_misses");
+  return c;
+}
+
+}  // namespace
 
 AsyncConnector::AsyncConnector(h5::FilePtr file, AsyncOptions options,
                                const Clock* clock)
@@ -44,6 +80,7 @@ void AsyncConnector::shutdown_machinery() {
 
 tasking::EventualPtr AsyncConnector::enqueue_ordered(tasking::TaskFn task) {
   if (closed_.load()) throw StateError("AsyncConnector used after close()");
+  obs::ScopedSpan span("enqueue", obs::Category::kVol);
   auto done = tasking::Eventual::make();
   auto body = [task = std::move(task), done]() mutable {
     try {
@@ -76,6 +113,11 @@ void AsyncConnector::note_staged(std::uint64_t bytes) {
     });
   }
   const std::uint64_t now_staged = staged_outstanding_.fetch_add(bytes) + bytes;
+  if (obs::enabled()) {
+    static auto& gauge = obs::Registry::instance().gauge("vol.async.staged_outstanding");
+    gauge.set(static_cast<std::int64_t>(now_staged));
+    gauge.note_watermark();
+  }
   std::lock_guard lock(stats_mutex_);
   stats_.bytes_staged += bytes;
   stats_.staged_high_watermark = std::max(stats_.staged_high_watermark, now_staged);
@@ -84,6 +126,10 @@ void AsyncConnector::note_staged(std::uint64_t bytes) {
 void AsyncConnector::note_unstaged(std::uint64_t bytes) {
   const std::uint64_t before = staged_outstanding_.fetch_sub(bytes);
   APIO_INVARIANT(before >= bytes, "staging accounting underflow");
+  if (obs::enabled()) {
+    static auto& gauge = obs::Registry::instance().gauge("vol.async.staged_outstanding");
+    gauge.set(static_cast<std::int64_t>(before - bytes));
+  }
   if (options_.max_staged_bytes > 0) {
     std::lock_guard lock(staging_mutex_);
     staging_cv_.notify_all();
@@ -103,20 +149,38 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
   note_staged(data.size());
   std::shared_ptr<std::vector<std::byte>> staged;
   std::uint64_t device_offset = 0;
-  if (options_.staging_backend) {
-    device_offset = staging_device_offset_.fetch_add(data.size());
-    options_.staging_backend->write(device_offset, data);
-  } else {
-    staged = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+  {
+    obs::TimedOp stage_op("stage_copy", obs::Category::kVol, stage_hist(),
+                          &staged_bytes_counter(), data.size());
+    if (options_.staging_backend) {
+      device_offset = staging_device_offset_.fetch_add(data.size());
+      options_.staging_backend->write(device_offset, data);
+    } else {
+      staged = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+    }
   }
   const double blocking = clock_->now() - t0;
 
   const int ranks = reported_ranks();
-  auto record_completion = [this, t0, blocking, bytes = data.size(), ranks] {
+  // Detail strings are built at issue time (the background stream has
+  // no business touching the container's path index).
+  std::string path;
+  std::string token;
+  const bool emit = has_observers();
+  if (emit && observers_want_detail()) {
+    path = file_->path_of(ds);
+    token = selection_to_token(selection);
+  }
+  auto record_completion = [this, t0, blocking, bytes = data.size(), ranks, emit,
+                            path = std::move(path), token = std::move(token)] {
+    if (!emit) return;
     IoRecord record;
     record.op = IoOp::kWrite;
+    record.dataset_path = path;
+    record.selection = token;
     record.bytes = bytes;
     record.ranks = ranks;
+    record.issue_time = t0;
     record.blocking_seconds = blocking;
     record.completion_seconds = clock_->now() - t0;
     record.async = true;
@@ -126,6 +190,8 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
   auto done = enqueue_ordered([this, ds, selection, staged, device_offset,
                                bytes = data.size(), record_completion]() mutable {
     APIO_ASSERT_ON_STREAM();
+    obs::TimedOp execute_op("write.execute", obs::Category::kVol, execute_hist(),
+                            &executed_bytes_counter(), bytes);
     if (options_.staging_backend) {
       std::vector<std::byte> from_device(bytes);
       options_.staging_backend->read(device_offset, from_device);
@@ -165,20 +231,29 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     }
   }
   if (hit) {
+    if (obs::enabled()) prefetch_hits_counter().increment();
+    obs::ScopedSpan span("read.cache_hit", obs::Category::kVol, out.size());
     entry.ready->wait();  // normally already complete
     APIO_REQUIRE(entry.data->size() == out.size(),
                  "prefetched buffer size does not match read selection");
     std::memcpy(out.data(), entry.data->data(), out.size());
     const double dt = clock_->now() - t0;
-    IoRecord record;
-    record.op = IoOp::kRead;
-    record.bytes = out.size();
-    record.ranks = reported_ranks();
-    record.blocking_seconds = dt;
-    record.completion_seconds = dt;
-    record.async = true;
-    record.cache_hit = true;
-    observe(record);
+    if (has_observers()) {
+      IoRecord record;
+      record.op = IoOp::kRead;
+      record.bytes = out.size();
+      record.ranks = reported_ranks();
+      record.issue_time = t0;
+      record.blocking_seconds = dt;
+      record.completion_seconds = dt;
+      record.async = true;
+      record.cache_hit = true;
+      if (observers_want_detail()) {
+        record.dataset_path = file_->path_of(ds);
+        record.selection = selection_to_token(selection);
+      }
+      observe(record);
+    }
     {
       std::lock_guard lock(stats_mutex_);
       ++stats_.cache_hits;
@@ -186,14 +261,30 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     return std::make_shared<Request>(tasking::Eventual::make_ready());
   }
 
+  if (obs::enabled()) prefetch_misses_counter().increment();
   const int ranks = reported_ranks();
-  auto done = enqueue_ordered([this, ds, selection, out, t0, ranks]() mutable {
+  std::string path;
+  std::string token;
+  const bool emit = has_observers();
+  if (emit && observers_want_detail()) {
+    path = file_->path_of(ds);
+    token = selection_to_token(selection);
+  }
+  auto done = enqueue_ordered([this, ds, selection, out, t0, ranks, emit,
+                               path = std::move(path),
+                               token = std::move(token)]() mutable {
     APIO_ASSERT_ON_STREAM();
+    obs::TimedOp execute_op("read.execute", obs::Category::kVol, execute_hist(),
+                            &executed_bytes_counter(), out.size());
     ds.read_raw(selection, out);
+    if (!emit) return;
     IoRecord record;
     record.op = IoOp::kRead;
+    record.dataset_path = std::move(path);
+    record.selection = std::move(token);
     record.bytes = out.size();
     record.ranks = ranks;
+    record.issue_time = t0;
     record.blocking_seconds = 0.0;  // caller was not blocked
     record.completion_seconds = clock_->now() - t0;
     record.async = true;
@@ -208,6 +299,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
 }
 
 void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
+  const double t0 = clock_->now();
   const std::string key = cache_key(ds, selection);
   {
     std::lock_guard lock(cache_mutex_);
@@ -215,22 +307,50 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
   }
   const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
   auto buffer = std::make_shared<std::vector<std::byte>>(bytes);
-  auto done = enqueue_ordered([ds, selection, buffer]() mutable {
+  auto done = enqueue_ordered([ds, selection, buffer, bytes]() mutable {
     APIO_ASSERT_ON_STREAM();
+    obs::TimedOp execute_op("prefetch.execute", obs::Category::kVol,
+                            execute_hist(), nullptr, bytes);
     ds.read_raw(selection, *buffer);
   });
   {
     std::lock_guard lock(cache_mutex_);
     cache_.emplace(key, CacheEntry{done, buffer});
   }
+  if (has_observers()) {
+    IoRecord record;
+    record.op = IoOp::kPrefetch;
+    record.bytes = bytes;
+    record.ranks = reported_ranks();
+    record.issue_time = t0;
+    record.blocking_seconds = clock_->now() - t0;
+    record.async = true;
+    if (observers_want_detail()) {
+      record.dataset_path = file_->path_of(ds);
+      record.selection = selection_to_token(selection);
+    }
+    observe(record);
+  }
   std::lock_guard lock(stats_mutex_);
   ++stats_.prefetches_enqueued;
 }
 
 RequestPtr AsyncConnector::flush() {
-  auto done = enqueue_ordered([file = file_] {
+  const double t0 = clock_->now();
+  const bool emit = has_observers();
+  auto done = enqueue_ordered([this, file = file_, t0, emit,
+                               ranks = reported_ranks()] {
     APIO_ASSERT_ON_STREAM();
     file->flush();
+    if (!emit) return;
+    IoRecord record;
+    record.op = IoOp::kFlush;
+    record.ranks = ranks;
+    record.issue_time = t0;
+    record.blocking_seconds = 0.0;  // caller was not blocked
+    record.completion_seconds = clock_->now() - t0;
+    record.async = true;
+    observe(record);
   });
   return std::make_shared<Request>(std::move(done));
 }

@@ -68,17 +68,46 @@ class Connector {
     return reported_ranks_.load(std::memory_order_relaxed);
   }
 
-  /// Installs the model feedback hook (Fig. 2).  May be null.
-  void set_observer(IoObserverPtr observer) { observer_ = std::move(observer); }
-  const IoObserverPtr& observer() const { return observer_; }
+  /// Appends an observer to the connector's chain (Fig. 2 feedback
+  /// hooks, trace sinks, metrics bridges — any number of subscribers).
+  /// Virtual so routing/interposer connectors (adaptive, trace,
+  /// passthrough) forward subscriptions to the connectors that actually
+  /// emit records.
+  virtual void add_observer(IoObserverPtr observer) {
+    observers_->add(std::move(observer));
+  }
+
+  /// Removes one previously added observer (by identity).
+  virtual void remove_observer(const IoObserverPtr& observer) {
+    observers_->remove(observer);
+  }
+
+  /// DEPRECATED single-slot API, kept as a thin shim for one release:
+  /// replaces the entire chain with `observer` (nullptr clears).  New
+  /// code must use add_observer(); tools/apio_lint rejects other uses.
+  void set_observer(IoObserverPtr observer) {  // apio-lint: allow(set-observer)
+    observers_->clear();
+    if (observer != nullptr) observers_->add(std::move(observer));
+  }
+
+  /// The connector's own observer chain.  Routing connectors keep their
+  /// chain empty and forward add_observer() to their inner connectors.
+  const CompositeObserverPtr& observer_chain() const { return observers_; }
 
  protected:
+  /// Emission fast path: one relaxed load when nobody subscribed.
+  bool has_observers() const { return !observers_->empty(); }
+
+  /// True when some subscriber consumes dataset_path/selection; the
+  /// connector skips building those strings otherwise.
+  bool observers_want_detail() const { return observers_->wants_detail(); }
+
   void observe(const IoRecord& record) {
-    if (observer_) observer_->on_io(record);
+    if (!observers_->empty()) observers_->on_io(record);
   }
 
  private:
-  IoObserverPtr observer_;
+  CompositeObserverPtr observers_ = std::make_shared<CompositeObserver>();
   std::atomic<int> reported_ranks_{1};
 };
 

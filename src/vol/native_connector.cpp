@@ -1,12 +1,35 @@
 #include "vol/native_connector.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "vol/selection_token.h"
 
 namespace apio::vol {
 namespace {
 
 RequestPtr completed_request() {
   return std::make_shared<Request>(tasking::Eventual::make_ready());
+}
+
+obs::Histogram& sync_write_hist() {
+  static auto& h = obs::Registry::instance().histogram("vol.sync.write_seconds");
+  return h;
+}
+
+obs::Histogram& sync_read_hist() {
+  static auto& h = obs::Registry::instance().histogram("vol.sync.read_seconds");
+  return h;
+}
+
+obs::Counter& sync_bytes_written() {
+  static auto& c = obs::Registry::instance().counter("vol.sync.bytes_written");
+  return c;
+}
+
+obs::Counter& sync_bytes_read() {
+  static auto& c = obs::Registry::instance().counter("vol.sync.bytes_read");
+  return c;
 }
 
 }  // namespace
@@ -20,16 +43,27 @@ RequestPtr NativeConnector::dataset_write(h5::Dataset ds,
                                           const h5::Selection& selection,
                                           std::span<const std::byte> data) {
   const double t0 = clock_->now();
-  ds.write_raw(selection, data);
+  {
+    obs::TimedOp op("write.sync", obs::Category::kVol, sync_write_hist(),
+                    &sync_bytes_written(), data.size());
+    ds.write_raw(selection, data);
+  }
   const double dt = clock_->now() - t0;
-  IoRecord record;
-  record.op = IoOp::kWrite;
-  record.bytes = data.size();
-  record.ranks = reported_ranks();
-  record.blocking_seconds = dt;
-  record.completion_seconds = dt;
-  record.async = false;
-  observe(record);
+  if (has_observers()) {
+    IoRecord record;
+    record.op = IoOp::kWrite;
+    record.bytes = data.size();
+    record.ranks = reported_ranks();
+    record.issue_time = t0;
+    record.blocking_seconds = dt;
+    record.completion_seconds = dt;
+    record.async = false;
+    if (observers_want_detail()) {
+      record.dataset_path = file_->path_of(ds);
+      record.selection = selection_to_token(selection);
+    }
+    observe(record);
+  }
   return completed_request();
 }
 
@@ -37,25 +71,63 @@ RequestPtr NativeConnector::dataset_read(h5::Dataset ds,
                                          const h5::Selection& selection,
                                          std::span<std::byte> out) {
   const double t0 = clock_->now();
-  ds.read_raw(selection, out);
+  {
+    obs::TimedOp op("read.sync", obs::Category::kVol, sync_read_hist(),
+                    &sync_bytes_read(), out.size());
+    ds.read_raw(selection, out);
+  }
   const double dt = clock_->now() - t0;
-  IoRecord record;
-  record.op = IoOp::kRead;
-  record.bytes = out.size();
-  record.ranks = reported_ranks();
-  record.blocking_seconds = dt;
-  record.completion_seconds = dt;
-  record.async = false;
-  observe(record);
+  if (has_observers()) {
+    IoRecord record;
+    record.op = IoOp::kRead;
+    record.bytes = out.size();
+    record.ranks = reported_ranks();
+    record.issue_time = t0;
+    record.blocking_seconds = dt;
+    record.completion_seconds = dt;
+    record.async = false;
+    if (observers_want_detail()) {
+      record.dataset_path = file_->path_of(ds);
+      record.selection = selection_to_token(selection);
+    }
+    observe(record);
+  }
   return completed_request();
 }
 
-void NativeConnector::prefetch(h5::Dataset, const h5::Selection&) {
-  // Synchronous mode has no background machinery to prefetch with.
+void NativeConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
+  // Synchronous mode has no background machinery to prefetch with; the
+  // hint is still reported so trace sinks capture the full call stream.
+  if (has_observers()) {
+    const double t0 = clock_->now();
+    IoRecord record;
+    record.op = IoOp::kPrefetch;
+    record.bytes = selection.npoints(ds.dims()) * ds.element_size();
+    record.ranks = reported_ranks();
+    record.issue_time = t0;
+    record.async = false;
+    if (observers_want_detail()) {
+      record.dataset_path = file_->path_of(ds);
+      record.selection = selection_to_token(selection);
+    }
+    observe(record);
+  }
 }
 
 RequestPtr NativeConnector::flush() {
+  const double t0 = clock_->now();
   file_->flush();
+  const double dt = clock_->now() - t0;
+  if (has_observers()) {
+    IoRecord record;
+    record.op = IoOp::kFlush;
+    record.ranks = reported_ranks();
+    record.issue_time = t0;
+    record.blocking_seconds = dt;
+    record.completion_seconds = dt;
+    record.async = false;
+    observe(record);
+  }
   return completed_request();
 }
 

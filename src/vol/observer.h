@@ -1,45 +1,22 @@
 // I/O observation hook: the "model feedback loop added to a high-level
-// I/O library" of Fig. 2.  Every VOL connector reports one IoRecord per
-// dataset transfer; the performance model subscribes to build its
-// measurement history, and the adaptive mode advisor consumes the
-// fitted model to pick sync vs. async for upcoming phases.
+// I/O library" of Fig. 2.  The record shape and observer interfaces
+// now live in the unified observability layer (src/obs); this header
+// re-exports them under apio::vol so connector-facing code keeps its
+// historical spelling.  Every VOL connector reports one IoRecord per
+// container operation; the performance model, trace sinks and the
+// metrics registry all subscribe to the same stream through a
+// CompositeObserver chain (Connector::add_observer).
 #pragma once
 
-#include <cstdint>
-#include <memory>
+#include "obs/record.h"
 
 namespace apio::vol {
 
-enum class IoOp : std::uint8_t { kWrite = 0, kRead = 1 };
-
-/// One observed dataset transfer.
-struct IoRecord {
-  IoOp op = IoOp::kWrite;
-  /// Payload bytes moved by this rank's call.
-  std::uint64_t bytes = 0;
-  /// Number of participating ranks the caller reports for the phase
-  /// (1 for serial use).
-  int ranks = 1;
-  /// Seconds the *caller* was blocked.  For sync I/O this is the full
-  /// transfer; for async it is the transactional (staging-copy) overhead.
-  double blocking_seconds = 0.0;
-  /// Seconds until the data was resident on the target storage
-  /// (equals blocking_seconds for sync I/O).
-  double completion_seconds = 0.0;
-  /// Whether the async path served/handled this transfer.
-  bool async = false;
-  /// True when a read was served from the prefetch cache.
-  bool cache_hit = false;
-};
-
-/// Observer interface; implementations must be thread-safe (async
-/// completions invoke it from the background stream).
-class IoObserver {
- public:
-  virtual ~IoObserver() = default;
-  virtual void on_io(const IoRecord& record) = 0;
-};
-
-using IoObserverPtr = std::shared_ptr<IoObserver>;
+using obs::IoOp;
+using obs::IoRecord;
+using obs::IoObserver;
+using obs::IoObserverPtr;
+using obs::CompositeObserver;
+using obs::CompositeObserverPtr;
 
 }  // namespace apio::vol

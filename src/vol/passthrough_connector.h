@@ -40,6 +40,15 @@ class PassthroughConnector final : public Connector {
   void wait_all() override { inner_->wait_all(); }
   void close() override { inner_->close(); }
 
+  /// Interposers emit no records of their own; subscriptions land on
+  /// the wrapped connector.
+  void add_observer(IoObserverPtr observer) override {
+    inner_->add_observer(std::move(observer));
+  }
+  void remove_observer(const IoObserverPtr& observer) override {
+    inner_->remove_observer(observer);
+  }
+
   PassthroughStats stats() const;
   const ConnectorPtr& inner() const { return inner_; }
 

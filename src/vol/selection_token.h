@@ -1,0 +1,23 @@
+// Compact textual encoding of h5::Selection used by the unified
+// IoRecord stream and the trace CSV format.
+//
+// Grammar: "all" for the full-extent selection; otherwise
+// "start0xstart1:count0xcount1" with optional ":stride:block" suffixes
+// (dims joined by 'x').  The alphabet is [0-9x:al], so tokens never
+// collide with CSV separators.
+#pragma once
+
+#include <string>
+
+#include "h5/dataspace.h"
+
+namespace apio::vol {
+
+std::string selection_to_token(const h5::Selection& selection);
+
+/// Parses a token; throws FormatError on malformed input.  The empty
+/// token decodes to Selection::all() (records of path-less operations
+/// such as flush carry no selection).
+h5::Selection selection_from_token(const std::string& token);
+
+}  // namespace apio::vol

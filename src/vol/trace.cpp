@@ -1,127 +1,133 @@
 #include "vol/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <sstream>
 #include <thread>
 
+#include "common/debug/lock_rank.h"
 #include "common/error.h"
 #include "common/units.h"
+#include "vol/selection_token.h"
 
 namespace apio::vol {
 namespace {
 
-std::string dims_token(const h5::Dims& dims) {
-  std::string s;
-  for (std::size_t i = 0; i < dims.size(); ++i) {
-    if (i > 0) s += 'x';
-    s += std::to_string(dims[i]);
-  }
-  return s;
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
 }
 
-h5::Dims parse_dims_token(const std::string& token) {
-  h5::Dims dims;
-  std::size_t pos = 0;
-  while (pos < token.size()) {
-    std::size_t end = token.find('x', pos);
-    if (end == std::string::npos) end = token.size();
-    dims.push_back(std::strtoull(token.substr(pos, end - pos).c_str(), nullptr, 10));
-    pos = end + 1;
+void append_csv_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
   }
-  return dims;
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
 }
 
-std::string selection_token(const h5::Selection& selection) {
-  if (selection.is_all()) return "all";
-  const auto& slab = selection.slab();
-  // Only offset/count selections are traced compactly; strided slabs
-  // fall back to "all" semantics would be wrong, so encode all four.
-  std::string s = dims_token(slab.start) + ":" + dims_token(slab.count);
-  if (!slab.stride.empty() || !slab.block.empty()) {
-    s += ":" + dims_token(slab.stride.empty() ? h5::Dims(slab.start.size(), 1)
-                                              : slab.stride);
-    s += ":" + dims_token(slab.block.empty() ? h5::Dims(slab.start.size(), 1)
-                                             : slab.block);
+/// RFC4180-style row splitter: quote-aware, tolerates commas/newlines/
+/// CRLF inside quoted fields, doubles-as-escape for quotes.  Throws
+/// FormatError on an unterminated quoted field.
+std::vector<std::vector<std::string>> parse_csv(const std::string& csv) {
+  std::vector<std::vector<std::string>> rows;
+  const std::size_t n = csv.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::vector<std::string> fields;
+    bool row_done = false;
+    while (!row_done) {
+      std::string field;
+      if (i < n && csv[i] == '"') {
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          const char c = csv[i];
+          if (c == '"') {
+            if (i + 1 < n && csv[i + 1] == '"') {
+              field += '"';
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            field += c;
+            ++i;
+          }
+        }
+        if (!closed) throw FormatError("unterminated quoted field in trace CSV");
+        if (i < n && csv[i] != ',' && csv[i] != '\n' && csv[i] != '\r') {
+          throw FormatError("garbage after quoted field in trace CSV");
+        }
+      } else {
+        while (i < n && csv[i] != ',' && csv[i] != '\n') {
+          if (csv[i] != '\r') field += csv[i];
+          ++i;
+        }
+      }
+      fields.push_back(std::move(field));
+      if (i < n && csv[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < n && csv[i] == '\r') ++i;
+      if (i < n && csv[i] == '\n') ++i;
+      row_done = true;
+    }
+    // Blank separator lines parse as one empty field; skip them.
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    rows.push_back(std::move(fields));
   }
-  return s;
-}
-
-h5::Selection parse_selection_token(const std::string& token) {
-  if (token == "all") return h5::Selection::all();
-  std::vector<std::string> parts;
-  std::size_t pos = 0;
-  while (pos <= token.size()) {
-    std::size_t end = token.find(':', pos);
-    if (end == std::string::npos) end = token.size();
-    parts.push_back(token.substr(pos, end - pos));
-    pos = end + 1;
-  }
-  if (parts.size() != 2 && parts.size() != 4) {
-    throw FormatError("malformed selection token '" + token + "'");
-  }
-  h5::Hyperslab slab;
-  slab.start = parse_dims_token(parts[0]);
-  slab.count = parse_dims_token(parts[1]);
-  if (parts.size() == 4) {
-    slab.stride = parse_dims_token(parts[2]);
-    slab.block = parse_dims_token(parts[3]);
-  }
-  return h5::Selection::hyperslab(std::move(slab));
+  return rows;
 }
 
 }  // namespace
 
-std::string to_string(TraceEvent::Kind kind) {
-  switch (kind) {
-    case TraceEvent::Kind::kWrite: return "write";
-    case TraceEvent::Kind::kRead: return "read";
-    case TraceEvent::Kind::kPrefetch: return "prefetch";
-    case TraceEvent::Kind::kFlush: return "flush";
-  }
-  return "?";
-}
-
 void Trace::append(TraceEvent event) { events_.push_back(std::move(event)); }
 
 std::string Trace::to_csv() const {
-  std::ostringstream os;
-  os << "kind,path,selection,bytes,issue_time,blocking\n";
+  std::string out = "kind,path,selection,bytes,issue_time,blocking\n";
+  std::ostringstream num;
   for (const auto& e : events_) {
-    os << static_cast<int>(e.kind) << ',' << e.dataset_path << ','
-       << selection_token(e.selection) << ',' << e.bytes << ',' << e.issue_time
-       << ',' << e.blocking_seconds << '\n';
+    out += std::to_string(static_cast<int>(e.kind));
+    out += ',';
+    append_csv_field(out, e.dataset_path);
+    out += ',';
+    out += selection_to_token(e.selection);
+    out += ',';
+    out += std::to_string(e.bytes);
+    num.str("");
+    num << ',' << e.issue_time << ',' << e.blocking_seconds << '\n';
+    out += num.str();
   }
-  return os.str();
+  return out;
 }
 
 Trace Trace::from_csv(const std::string& csv) {
   Trace trace;
-  std::istringstream is(csv);
-  std::string line;
-  bool first = true;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    if (first && line.rfind("kind,", 0) == 0) {
-      first = false;
-      continue;
+  const auto rows = parse_csv(csv);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& fields = rows[r];
+    if (r == 0 && !fields.empty() && fields[0] == "kind") continue;  // header
+    if (fields.size() != 6) {
+      throw FormatError("malformed trace row with " +
+                        std::to_string(fields.size()) + " fields");
     }
-    first = false;
-    std::vector<std::string> fields;
-    std::size_t pos = 0;
-    while (pos <= line.size()) {
-      std::size_t end = line.find(',', pos);
-      if (end == std::string::npos) end = line.size();
-      fields.push_back(line.substr(pos, end - pos));
-      pos = end + 1;
-    }
-    if (fields.size() != 6) throw FormatError("malformed trace row: '" + line + "'");
     TraceEvent e;
     const int kind = std::atoi(fields[0].c_str());
-    if (kind < 0 || kind > 3) throw FormatError("bad trace kind in '" + line + "'");
+    if (kind < 0 || kind > 3) {
+      throw FormatError("bad trace kind '" + fields[0] + "'");
+    }
     e.kind = static_cast<TraceEvent::Kind>(kind);
     e.dataset_path = fields[1];
-    e.selection = parse_selection_token(fields[2]);
+    e.selection = selection_from_token(fields[2]);
     e.bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
     e.issue_time = std::atof(fields[4].c_str());
     e.blocking_seconds = std::atof(fields[5].c_str());
@@ -133,64 +139,83 @@ Trace Trace::from_csv(const std::string& csv) {
 // ---------------------------------------------------------------------------
 // TraceRecorder
 
-TraceRecorder::TraceRecorder(ConnectorPtr inner, const Clock* clock)
-    : inner_(std::move(inner)),
-      clock_(clock != nullptr ? clock : &wall_clock_),
-      start_(0.0) {
+/// The recorder's subscription on the unified record stream.  Detail
+/// strings (path, selection token) are requested so connectors fill
+/// them; records are stored with absolute issue times and rebased at
+/// snapshot time.
+class TraceRecorder::Sink final : public IoObserver {
+ public:
+  bool wants_detail() const override { return true; }
+
+  void on_io(const IoRecord& record) override {
+    TraceEvent event;
+    event.kind = record.op;
+    event.dataset_path = record.dataset_path;
+    event.selection = selection_from_token(record.selection);
+    event.bytes = record.bytes;
+    event.issue_time = record.issue_time;
+    event.blocking_seconds = record.blocking_seconds;
+    std::lock_guard lock(mutex_);
+    events_.push_back(std::move(event));
+  }
+
+  Trace snapshot() const {
+    std::vector<TraceEvent> events;
+    {
+      std::lock_guard lock(mutex_);
+      events = events_;
+    }
+    // Async connectors report at completion, which may disagree with
+    // issue order; a trace is by definition issue-ordered.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.issue_time < b.issue_time;
+                     });
+    Trace trace;
+    if (!events.empty()) {
+      const double base = events.front().issue_time;
+      for (auto& e : events) {
+        e.issue_time -= base;
+        trace.append(std::move(e));
+      }
+    }
+    return trace;
+  }
+
+ private:
+  mutable debug::RankedMutex<debug::LockRank::kVolTrace> mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+TraceRecorder::TraceRecorder(ConnectorPtr inner, const Clock* /*clock*/)
+    : inner_(std::move(inner)), sink_(std::make_shared<Sink>()) {
   APIO_REQUIRE(inner_ != nullptr, "TraceRecorder requires an inner connector");
-  start_ = clock_->now();
+  inner_->add_observer(sink_);
 }
 
-void TraceRecorder::record(TraceEvent::Kind kind, const h5::Dataset* ds,
-                           const h5::Selection& selection, std::uint64_t bytes,
-                           double t0) {
-  TraceEvent event;
-  event.kind = kind;
-  if (ds != nullptr) {
-    event.dataset_path = inner_->file()->path_of(*ds);
-    event.selection = selection;
-  }
-  event.bytes = bytes;
-  event.issue_time = t0 - start_;
-  event.blocking_seconds = clock_->now() - t0;
-  std::lock_guard lock(mutex_);
-  trace_.append(std::move(event));
+TraceRecorder::~TraceRecorder() {
+  // The sink must not outlive this subscription: the inner connector is
+  // shared and may keep emitting after the recorder is gone.
+  inner_->remove_observer(sink_);
 }
 
 RequestPtr TraceRecorder::dataset_write(h5::Dataset ds, const h5::Selection& selection,
                                         std::span<const std::byte> data) {
-  const double t0 = clock_->now();
-  auto request = inner_->dataset_write(ds, selection, data);
-  record(TraceEvent::Kind::kWrite, &ds, selection, data.size(), t0);
-  return request;
+  return inner_->dataset_write(ds, selection, data);
 }
 
 RequestPtr TraceRecorder::dataset_read(h5::Dataset ds, const h5::Selection& selection,
                                        std::span<std::byte> out) {
-  const double t0 = clock_->now();
-  auto request = inner_->dataset_read(ds, selection, out);
-  record(TraceEvent::Kind::kRead, &ds, selection, out.size(), t0);
-  return request;
+  return inner_->dataset_read(ds, selection, out);
 }
 
 void TraceRecorder::prefetch(h5::Dataset ds, const h5::Selection& selection) {
-  const double t0 = clock_->now();
   inner_->prefetch(ds, selection);
-  const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
-  record(TraceEvent::Kind::kPrefetch, &ds, selection, bytes, t0);
 }
 
-RequestPtr TraceRecorder::flush() {
-  const double t0 = clock_->now();
-  auto request = inner_->flush();
-  record(TraceEvent::Kind::kFlush, nullptr, h5::Selection::all(), 0, t0);
-  return request;
-}
+RequestPtr TraceRecorder::flush() { return inner_->flush(); }
 
-Trace TraceRecorder::trace() const {
-  std::lock_guard lock(mutex_);
-  return trace_;
-}
+Trace TraceRecorder::trace() const { return sink_->snapshot(); }
 
 // ---------------------------------------------------------------------------
 // Replay

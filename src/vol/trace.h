@@ -20,21 +20,21 @@
 
 namespace apio::vol {
 
-/// One recorded operation.
+/// One recorded operation.  Kind is the unified op enum shared with the
+/// IoRecord stream (obs::IoOp) — traces are just persisted projections
+/// of that stream.
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kWrite = 0, kRead = 1, kPrefetch = 2, kFlush = 3 };
+  using Kind = IoOp;
 
   Kind kind = Kind::kWrite;
   std::string dataset_path;  ///< empty for flush
   h5::Selection selection;   ///< meaningful for dataset ops
   std::uint64_t bytes = 0;
-  /// Seconds since the recorder's creation at which the call was issued.
+  /// Seconds since the trace's first operation at which the call was issued.
   double issue_time = 0.0;
   /// Caller-visible blocking duration of the call.
   double blocking_seconds = 0.0;
 };
-
-std::string to_string(TraceEvent::Kind kind);
 
 /// An ordered trace with CSV persistence.
 class Trace {
@@ -45,6 +45,9 @@ class Trace {
 
   /// CSV: kind,path,selection,bytes,issue_time,blocking
   /// Selections serialise as "all" or "start0xstart1:count0xcount1".
+  /// Paths containing commas, quotes or newlines are RFC4180-quoted
+  /// (embedded quotes doubled); from_csv understands quoted fields and
+  /// throws FormatError on unterminated quotes or malformed rows.
   std::string to_csv() const;
   static Trace from_csv(const std::string& csv);
 
@@ -53,9 +56,19 @@ class Trace {
 };
 
 /// Connector interposer that records every operation it forwards.
+///
+/// Recording rides the unified observer stream: the recorder subscribes
+/// a detail-requesting sink on the inner connector and converts each
+/// IoRecord into a TraceEvent — there is no second, private record
+/// path.  With an async inner connector records surface at completion
+/// time, so call wait_all() before trace() to capture in-flight ops;
+/// trace() sorts by issue time and rebases it to the first operation.
 class TraceRecorder final : public Connector {
  public:
+  /// The clock parameter is accepted for interface stability but no
+  /// longer consulted: timings come from the inner connector's records.
   explicit TraceRecorder(ConnectorPtr inner, const Clock* clock = nullptr);
+  ~TraceRecorder() override;
 
   const h5::FilePtr& file() const override { return inner_->file(); }
   RequestPtr dataset_write(h5::Dataset ds, const h5::Selection& selection,
@@ -67,19 +80,23 @@ class TraceRecorder final : public Connector {
   void wait_all() override { inner_->wait_all(); }
   void close() override { inner_->close(); }
 
-  /// Snapshot of everything recorded so far.
+  /// Additional subscribers land on the inner connector, next to the
+  /// recorder's own sink.
+  void add_observer(IoObserverPtr observer) override {
+    inner_->add_observer(std::move(observer));
+  }
+  void remove_observer(const IoObserverPtr& observer) override {
+    inner_->remove_observer(observer);
+  }
+
+  /// Snapshot of everything recorded so far, ordered by issue time.
   Trace trace() const;
 
  private:
-  ConnectorPtr inner_;
-  WallClock wall_clock_;
-  const Clock* clock_;
-  double start_;
-  mutable debug::RankedMutex<debug::LockRank::kVolTrace> mutex_;
-  Trace trace_;
+  class Sink;
 
-  void record(TraceEvent::Kind kind, const h5::Dataset* ds,
-              const h5::Selection& selection, std::uint64_t bytes, double t0);
+  ConnectorPtr inner_;
+  std::shared_ptr<Sink> sink_;
 };
 
 /// Replay options.

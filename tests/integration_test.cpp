@@ -41,7 +41,7 @@ TEST(FeedbackLoopTest, AdvisorLearnsFromRealConnectors) {
   {
     auto file = h5::File::create(slow_backend(8.0 * kMiB));
     vol::NativeConnector sync_conn(file);
-    sync_conn.set_observer(advisor);
+    sync_conn.add_observer(advisor);
     auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {chunk * 8});
     for (int i = 0; i < 4; ++i) {
       sync_conn.dataset_write(
@@ -52,7 +52,7 @@ TEST(FeedbackLoopTest, AdvisorLearnsFromRealConnectors) {
   {
     auto file = h5::File::create(slow_backend(8.0 * kMiB));
     vol::AsyncConnector async_conn(file);
-    async_conn.set_observer(advisor);
+    async_conn.add_observer(advisor);
     auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {chunk * 8});
     for (int i = 0; i < 4; ++i) {
       async_conn.dataset_write(
@@ -160,7 +160,7 @@ TEST(ConsistencyTest, RealAsyncConnectorMatchesSimulatorPipelineShape) {
     std::vector<vol::IoRecord> records;
   };
   auto capture = std::make_shared<Capture>();
-  conn.set_observer(capture);
+  conn.add_observer(capture);
 
   auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {bytes});
   std::vector<std::uint8_t> data(bytes, 3);

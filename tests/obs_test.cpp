@@ -1,0 +1,650 @@
+// Tests for the observability layer: metrics registry sharding and
+// snapshots, span tracing with Chrome trace_event export, the
+// composable observer chain, and end-to-end coherence of counters
+// against connector statistics under multi-threaded load.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/advisor.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/record.h"
+#include "obs/span.h"
+#include "pmpi/world.h"
+#include "storage/memory_backend.h"
+#include "vol/async_connector.h"
+#include "vol/native_connector.h"
+#include "vol/trace.h"
+
+namespace apio::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader: validates syntax and exposes
+// just enough structure for the Chrome-trace assertions.  Throws
+// std::runtime_error on malformed input.
+
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kNumber, kBool, kNull };
+  Type type = Type::kNull;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            pos_ += 4;  // validated for length only
+            v.string += '?';
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    ++pos_;
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    JsonValue v;
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("bad number");
+    v.number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return v;
+  }
+};
+
+/// RAII: metrics + tracing on with clean registry/tracer, everything
+/// off and wiped again on scope exit so tests stay independent.
+class ScopedObservability {
+ public:
+  ScopedObservability() {
+    Registry::instance().reset();
+    Tracer::instance().clear();
+    set_enabled(true);
+    set_tracing_enabled(true);
+  }
+  ~ScopedObservability() {
+    set_enabled(false);
+    set_tracing_enabled(false);
+    Registry::instance().reset();
+    Tracer::instance().clear();
+  }
+};
+
+h5::FilePtr mem_file() {
+  return h5::File::create(std::make_shared<storage::MemoryBackend>());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics primitives
+
+TEST(CounterTest, ShardedAddsSumToTotal) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&counter, i] {
+      set_thread_shard(i);
+      for (std::uint64_t n = 0; n < kPerThread; ++n) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(counter.total(), kThreads * kPerThread);
+  const auto shards = counter.per_shard();
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) sum += shards[i];
+  EXPECT_EQ(sum, counter.total());
+  // Pinned shards read back as per-thread values.
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(shards[static_cast<std::size_t>(i)], kPerThread) << i;
+  }
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(GaugeTest, TracksValueAndWatermark) {
+  Gauge gauge;
+  gauge.set(7);
+  gauge.note_watermark();
+  gauge.set(3);
+  EXPECT_EQ(gauge.value(), 3);
+  EXPECT_EQ(gauge.high_watermark(), 7);
+  gauge.add(10);
+  gauge.note_watermark();
+  EXPECT_EQ(gauge.value(), 13);
+  EXPECT_EQ(gauge.high_watermark(), 13);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(gauge.high_watermark(), 0);
+}
+
+TEST(HistogramTest, Log2BucketsAndMoments) {
+  EXPECT_EQ(Histogram::bucket_index(0.5e-9), 0u);   // sub-nanosecond
+  EXPECT_EQ(Histogram::bucket_index(1.0e-9), 0u);   // [1ns, 2ns)
+  EXPECT_EQ(Histogram::bucket_index(2.0e-9), 1u);   // [2ns, 4ns)
+  EXPECT_EQ(Histogram::bucket_index(1.1e-6), 10u);  // [1024ns, 2048ns)
+  EXPECT_EQ(Histogram::bucket_index(1e12), Histogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_seconds(0), 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_seconds(10), 1024e-9);
+
+  Histogram hist;
+  hist.record_seconds(1.0e-6);
+  hist.record_seconds(1.5e-6);
+  hist.record_seconds(3.0e-6);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_NEAR(hist.sum_seconds(), 5.5e-6, 1e-8);
+  // 1000ns / 1500ns / 3000ns land in log2 buckets 9 / 10 / 11.
+  const auto buckets = hist.buckets();
+  EXPECT_EQ(buckets[Histogram::bucket_index(1.0e-6)], 1u);
+  EXPECT_EQ(buckets[Histogram::bucket_index(1.5e-6)], 1u);
+  EXPECT_EQ(buckets[Histogram::bucket_index(3.0e-6)], 1u);
+}
+
+TEST(RegistryTest, StableReferencesAcrossReset) {
+  auto& counter = Registry::instance().counter("obs_test.stable");
+  counter.add(5);
+  Registry::instance().reset();
+  EXPECT_EQ(counter.total(), 0u);
+  counter.add(2);  // handed-out reference still valid
+  EXPECT_EQ(Registry::instance().counter("obs_test.stable").total(), 2u);
+  Registry::instance().reset();
+}
+
+TEST(RegistryTest, SnapshotIsWellFormedJson) {
+  ScopedObservability scoped;
+  Registry::instance().counter("a.bytes").add(42);
+  Registry::instance().gauge("a.depth").set(3);
+  Registry::instance().histogram("a.lat\"ency").record_seconds(1e-3);
+
+  const std::string json = Registry::instance().snapshot().to_json();
+  JsonValue root = JsonParser(json).parse();
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  EXPECT_TRUE(root.has("counters"));
+  EXPECT_TRUE(root.has("gauges"));
+  EXPECT_TRUE(root.has("histograms"));
+  EXPECT_EQ(root.at("counters").at("a.bytes").at("total").number, 42.0);
+  // The quote in the histogram name must have been escaped.
+  EXPECT_TRUE(root.at("histograms").has("a.lat\"ency"));
+
+  const auto snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter_total("a.bytes"), 42u);
+  EXPECT_EQ(snap.counter_total("no.such.counter"), 0u);
+  EXPECT_NE(snap.summary().find("a.bytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Composite observer chain
+
+class Probe final : public IoObserver {
+ public:
+  explicit Probe(bool detail = false) : detail_(detail) {}
+  void on_io(const IoRecord& record) override {
+    std::lock_guard lock(mutex_);
+    records.push_back(record);
+  }
+  bool wants_detail() const override { return detail_; }
+  std::size_t count() const {
+    std::lock_guard lock(mutex_);
+    return records.size();
+  }
+  std::vector<IoRecord> records;
+
+ private:
+  bool detail_;
+  mutable std::mutex mutex_;
+};
+
+TEST(CompositeObserverTest, FansOutAndAggregatesDetail) {
+  CompositeObserver composite;
+  EXPECT_TRUE(composite.empty());
+  EXPECT_FALSE(composite.wants_detail());
+
+  auto plain = std::make_shared<Probe>(false);
+  auto detailed = std::make_shared<Probe>(true);
+  composite.add(plain);
+  EXPECT_FALSE(composite.wants_detail());
+  composite.add(detailed);
+  EXPECT_TRUE(composite.wants_detail());
+  EXPECT_EQ(composite.size(), 2u);
+
+  IoRecord record;
+  record.op = IoOp::kWrite;
+  record.bytes = 64;
+  composite.on_io(record);
+  EXPECT_EQ(plain->count(), 1u);
+  EXPECT_EQ(detailed->count(), 1u);
+
+  composite.remove(detailed);
+  EXPECT_FALSE(composite.wants_detail());
+  composite.on_io(record);
+  EXPECT_EQ(plain->count(), 2u);
+  EXPECT_EQ(detailed->count(), 1u);
+
+  composite.remove(detailed);  // unknown pointer: ignored
+  composite.clear();
+  EXPECT_TRUE(composite.empty());
+  composite.on_io(record);
+  EXPECT_EQ(plain->count(), 2u);
+}
+
+TEST(CompositeObserverTest, SetObserverShimReplacesWholeChain) {
+  auto file = mem_file();
+  vol::NativeConnector conn(file);
+  auto first = std::make_shared<Probe>();
+  auto second = std::make_shared<Probe>();
+  conn.add_observer(first);
+  conn.add_observer(second);
+  EXPECT_EQ(conn.observer_chain()->size(), 2u);
+
+  // Legacy semantics: one slot, replacing everything.
+  auto third = std::make_shared<Probe>();
+  conn.set_observer(third);  // apio-lint: allow(set-observer)
+  EXPECT_EQ(conn.observer_chain()->size(), 1u);
+
+  auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {4});
+  const std::vector<std::uint8_t> data(4, 1);
+  conn.dataset_write(ds, h5::Selection::all(),
+                     std::as_bytes(std::span<const std::uint8_t>(data)));
+  EXPECT_EQ(first->count(), 0u);
+  EXPECT_EQ(third->count(), 1u);
+
+  conn.set_observer(nullptr);  // apio-lint: allow(set-observer)
+  EXPECT_TRUE(conn.observer_chain()->empty());
+}
+
+TEST(MetricsObserverTest, RoutesOpsToRegistryCounters) {
+  ScopedObservability scoped;
+  MetricsObserver observer("t");
+
+  IoRecord write;
+  write.op = IoOp::kWrite;
+  write.bytes = 100;
+  write.blocking_seconds = 1e-4;
+  write.completion_seconds = 2e-4;
+  write.async = true;
+  observer.on_io(write);
+
+  IoRecord read;
+  read.op = IoOp::kRead;
+  read.bytes = 40;
+  read.cache_hit = true;
+  observer.on_io(read);
+
+  IoRecord prefetch;
+  prefetch.op = IoOp::kPrefetch;
+  prefetch.bytes = 8;
+  observer.on_io(prefetch);
+
+  IoRecord flush;
+  flush.op = IoOp::kFlush;
+  observer.on_io(flush);
+
+  const auto snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter_total("t.bytes_written"), 100u);
+  EXPECT_EQ(snap.counter_total("t.bytes_read"), 40u);
+  EXPECT_EQ(snap.counter_total("t.writes"), 1u);
+  EXPECT_EQ(snap.counter_total("t.reads"), 1u);
+  EXPECT_EQ(snap.counter_total("t.prefetches"), 1u);
+  EXPECT_EQ(snap.counter_total("t.flushes"), 1u);
+  EXPECT_EQ(snap.counter_total("t.cache_hits"), 1u);
+  EXPECT_EQ(snap.counter_total("t.async_ops"), 1u);
+  // Latency histograms take one sample per record, whatever the op.
+  EXPECT_EQ(snap.histograms.at("t.blocking_seconds").count, 4u);
+  EXPECT_NEAR(snap.histograms.at("t.blocking_seconds").sum_seconds, 1e-4, 1e-6);
+  EXPECT_FALSE(observer.wants_detail());
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing
+
+TEST(TracerTest, DisabledSpansCostNothingAndRecordNothing) {
+  Tracer::instance().clear();
+  ASSERT_FALSE(tracing_enabled());
+  {
+    ScopedSpan span("invisible", Category::kApp, 123);
+  }
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST(TracerTest, ChromeExportIsValidTraceEventJson) {
+  ScopedObservability scoped;
+  {
+    ScopedSpan outer("outer", Category::kVol, 4096);
+    ScopedSpan inner("in\"ner\\path", Category::kTasking);
+  }
+  set_thread_rank(3);
+  { ScopedSpan ranked("ranked", Category::kPmpi); }
+  set_thread_rank(-1);
+
+  const std::string json = Tracer::instance().to_chrome_json();
+  JsonValue root = JsonParser(json).parse();
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const auto& events = root.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_escaped = false;
+  bool saw_rank_lane = false;
+  for (const auto& event : events) {
+    ASSERT_EQ(event.type, JsonValue::Type::kObject);
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      EXPECT_TRUE(event.has(key)) << key;
+    }
+    EXPECT_EQ(event.at("ph").string, "X");
+    EXPECT_GE(event.at("dur").number, 0.0);
+    if (event.at("name").string == "in\"ner\\path") saw_escaped = true;
+    // pmpi ranks land in the 1000+rank lane.
+    if (event.at("cat").string == "pmpi") {
+      EXPECT_EQ(event.at("tid").number, 1003.0);
+      saw_rank_lane = true;
+    }
+  }
+  EXPECT_TRUE(saw_escaped);
+  EXPECT_TRUE(saw_rank_lane);
+  EXPECT_NE(Tracer::instance().summary().find("outer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: instrumented stack
+
+TEST(ObsEndToEndTest, WorkloadEmitsSpansFromAllFourLayers) {
+  ScopedObservability scoped;
+  auto file = mem_file();
+  auto connector = std::make_shared<vol::AsyncConnector>(file);
+  auto metrics = std::make_shared<MetricsObserver>();
+  connector->add_observer(metrics);
+
+  constexpr std::uint64_t kBytesPerRank = 64 * 1024;
+  auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8,
+                                        {2 * kBytesPerRank});
+  pmpi::run(2, [&](pmpi::Communicator& comm) {
+    const std::vector<std::uint8_t> data(kBytesPerRank,
+                                         static_cast<std::uint8_t>(comm.rank()));
+    comm.barrier();
+    connector->dataset_write(
+        ds,
+        h5::Selection::offsets(
+            {static_cast<std::uint64_t>(comm.rank()) * kBytesPerRank},
+            {kBytesPerRank}),
+        std::as_bytes(std::span<const std::uint8_t>(data)));
+    comm.barrier();
+  });
+  connector->wait_all();
+  const auto stats = connector->stats();
+  connector->close();
+
+  // Spans from vol, tasking, pmpi and storage must all be present.
+  bool saw[4] = {false, false, false, false};
+  for (const auto& span : Tracer::instance().spans()) {
+    if (span.category == Category::kVol) saw[0] = true;
+    if (span.category == Category::kTasking) saw[1] = true;
+    if (span.category == Category::kPmpi) saw[2] = true;
+    if (span.category == Category::kStorage) saw[3] = true;
+  }
+  EXPECT_TRUE(saw[0]) << "no vol span";
+  EXPECT_TRUE(saw[1]) << "no tasking span";
+  EXPECT_TRUE(saw[2]) << "no pmpi span";
+  EXPECT_TRUE(saw[3]) << "no storage span";
+
+  // Registry counters agree with the connector's own accounting and the
+  // observer bridge.
+  const auto snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.counter_total("vol.async.bytes_staged"), stats.bytes_staged);
+  EXPECT_EQ(snap.counter_total("io.bytes_written"), stats.bytes_staged);
+  EXPECT_EQ(stats.bytes_staged, 2 * kBytesPerRank);
+
+  // Rank threads pinned their shard to the rank: the per-shard view of
+  // the staging counter is the per-rank byte count.
+  const auto& staged = snap.counters.at("vol.async.bytes_staged");
+  EXPECT_EQ(staged.per_shard[0], kBytesPerRank);
+  EXPECT_EQ(staged.per_shard[1], kBytesPerRank);
+
+  // The Chrome export of a real run parses.
+  EXPECT_NO_THROW(JsonParser(Tracer::instance().to_chrome_json()).parse());
+}
+
+// The satellite stress requirement: one connector hammered from 8
+// threads with metrics + trace + model observers attached; snapshots
+// must stay coherent (sum of per-shard counters == total == AsyncStats
+// accounting) and every operation must surface in the trace.
+TEST(ObsHammerTest, EightWriterThreadsSnapshotCoherence) {
+  ScopedObservability scoped;
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 16;
+  constexpr std::uint64_t kChunk = 16 * 1024;
+
+  auto file = mem_file();
+  auto inner = std::make_shared<vol::AsyncConnector>(file);
+  vol::TraceRecorder recorder(inner);
+  auto metrics = std::make_shared<MetricsObserver>();
+  auto advisor = std::make_shared<model::ModeAdvisor>();
+  recorder.add_observer(metrics);
+  recorder.add_observer(advisor);
+
+  auto ds = file->root().create_dataset(
+      "d", h5::Datatype::kUInt8,
+      {static_cast<std::uint64_t>(kThreads) * kWritesPerThread * kChunk});
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      set_thread_shard(t);
+      const std::vector<std::uint8_t> data(kChunk,
+                                           static_cast<std::uint8_t>(t));
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        const std::uint64_t offset =
+            (static_cast<std::uint64_t>(t) * kWritesPerThread +
+             static_cast<std::uint64_t>(i)) *
+            kChunk;
+        recorder.dataset_write(
+            ds, h5::Selection::offsets({offset}, {kChunk}),
+            std::as_bytes(std::span<const std::uint8_t>(data)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  recorder.wait_all();
+
+  constexpr std::uint64_t kTotal = static_cast<std::uint64_t>(kThreads) *
+                                   kWritesPerThread * kChunk;
+  const auto stats = inner->stats();
+  EXPECT_EQ(stats.bytes_staged, kTotal);
+  EXPECT_EQ(stats.writes_enqueued,
+            static_cast<std::uint64_t>(kThreads) * kWritesPerThread);
+
+  const auto snap = Registry::instance().snapshot();
+  const auto& staged = snap.counters.at("vol.async.bytes_staged");
+  EXPECT_EQ(staged.total, kTotal);
+  std::uint64_t shard_sum = 0;
+  for (std::size_t s = 0; s < staged.per_shard.size(); ++s) {
+    shard_sum += staged.per_shard[s];
+  }
+  EXPECT_EQ(shard_sum, staged.total);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(staged.per_shard[static_cast<std::size_t>(t)],
+              static_cast<std::uint64_t>(kWritesPerThread) * kChunk)
+        << "shard " << t;
+  }
+  EXPECT_EQ(snap.counter_total("io.bytes_written"), kTotal);
+
+  // Every write surfaced on the unified stream: the trace sink saw all
+  // of them, and the model accumulated usable samples.
+  const auto trace = recorder.trace();
+  EXPECT_EQ(trace.size(),
+            static_cast<std::size_t>(kThreads) * kWritesPerThread);
+  double prev = -1.0;
+  for (const auto& e : trace.events()) {
+    EXPECT_EQ(e.kind, vol::TraceEvent::Kind::kWrite);
+    EXPECT_EQ(e.bytes, kChunk);
+    EXPECT_GE(e.issue_time, prev);
+    prev = e.issue_time;
+  }
+  EXPECT_TRUE(advisor->async_ready());
+
+  inner->close();
+}
+
+}  // namespace
+}  // namespace apio::obs

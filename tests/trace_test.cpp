@@ -99,6 +99,47 @@ TEST(TraceTest, CsvRejectsGarbage) {
   EXPECT_THROW(Trace::from_csv("0,p,0:1:2,4,0,0\n"), FormatError);
 }
 
+// Dataset paths are user-controlled, so the CSV layer must quote the
+// separator, quote and newline characters (RFC 4180) rather than
+// corrupt neighbouring fields.
+TEST(TraceTest, CsvEscapesAwkwardPaths) {
+  const std::vector<std::string> paths = {
+      "plain",
+      "with,comma",
+      "with \"quotes\" inside",
+      "line\nbreak",
+      "cr\rlf\r\nmix",
+      ",\"start and end\"",
+  };
+  Trace trace;
+  std::uint64_t bytes = 8;
+  for (const auto& path : paths) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kWrite;
+    e.dataset_path = path;
+    e.selection = h5::Selection::offsets({0}, {bytes});
+    e.bytes = bytes;
+    trace.append(e);
+    bytes += 8;
+  }
+  const Trace parsed = Trace::from_csv(trace.to_csv());
+  ASSERT_EQ(parsed.size(), paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(parsed.events()[i].dataset_path, paths[i]) << i;
+    EXPECT_EQ(parsed.events()[i].bytes, 8 * (i + 1)) << i;
+  }
+}
+
+TEST(TraceTest, CsvRejectsMalformedQuoting) {
+  // Unterminated quoted field.
+  EXPECT_THROW(Trace::from_csv("0,\"no closing quote,all,1,0,0\n"),
+               FormatError);
+  // Garbage between closing quote and the next separator.
+  EXPECT_THROW(Trace::from_csv("0,\"p\"x,all,1,0,0\n"), FormatError);
+  // A quoted field must not swallow the rest of the row's fields.
+  EXPECT_THROW(Trace::from_csv("0,\"p,all,1,0,0\"\n"), FormatError);
+}
+
 TEST(TraceTest, StridedSelectionSurvivesCsv) {
   Trace trace;
   TraceEvent e;

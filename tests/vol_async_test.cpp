@@ -292,7 +292,7 @@ TEST(AsyncConnectorTest, UseAfterCloseThrows) {
 TEST(AsyncConnectorTest, ObserverSeesAsyncTimings) {
   auto conn = make_slow_connector(8.0 * 1024 * 1024, 0.02);
   auto observer = std::make_shared<RecordingObserver>();
-  conn->set_observer(observer);
+  conn->add_observer(observer);
   conn->set_reported_ranks(6);
 
   auto ds = conn->file()->root().create_dataset("d", h5::Datatype::kUInt8,

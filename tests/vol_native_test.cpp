@@ -70,7 +70,7 @@ TEST(NativeConnectorTest, PrefetchIsHarmlessNoOp) {
 TEST(NativeConnectorTest, ObserverSeesSyncRecords) {
   auto conn = make_connector();
   auto observer = std::make_shared<RecordingObserver>();
-  conn->set_observer(observer);
+  conn->add_observer(observer);
   conn->set_reported_ranks(12);
   auto ds = conn->file()->root().create_dataset("d", h5::Datatype::kFloat64, {8});
   const std::vector<double> values(8, 1.0);

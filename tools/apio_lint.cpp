@@ -19,6 +19,10 @@
 //                 in per line with "apio-lint: allow(no-test-sleep)".
 //   pragma-once   every header under src/ uses #pragma once (the
 //                 include-guard style of this repo).
+//   set-observer  Connector::set_observer() is a deprecated single-slot
+//                 shim; new code subscribes with add_observer() so
+//                 multiple observers (model, trace, metrics) compose.
+//                 Only the shim's own definition carries a waiver.
 //
 // Any rule can be waived for one line with a trailing comment:
 //   // apio-lint: allow(<rule>)
@@ -156,6 +160,12 @@ void lint_file(const fs::path& root, const fs::path& file) {
       }
     }
 
+    if (has_token(code, "set_observer") && !waived(raw, "set-observer")) {
+      report(file, lineno, "set-observer",
+             "set_observer() is a deprecated single-slot shim that clears "
+             "the whole chain; subscribe with add_observer()");
+    }
+
     if (contains(code, ".detach()") && !waived(raw, "no-detach")) {
       report(file, lineno, "no-detach",
              "detached threads escape shutdown and sanitizer analysis; "
@@ -210,6 +220,8 @@ int main(int argc, char** argv) {
 
   walk(root, root / "src");
   walk(root, root / "tests");
+  walk(root, root / "examples");
+  walk(root, root / "bench");
 
   for (const auto& v : g_violations) {
     std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
