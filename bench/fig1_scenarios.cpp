@@ -54,6 +54,5 @@ int main() {
                EpochCosts{.t_comp = 2.0, .t_io = 6.0, .t_transact = 0.5});
   apio::render("(c) slowdown: overhead exceeds the feasible overlap",
                EpochCosts{.t_comp = 0.4, .t_io = 0.3, .t_transact = 0.8});
-  apio::bench::record_bench_metrics("fig1_scenarios");
-  return 0;
+  return apio::bench::record_bench_metrics("fig1_scenarios");
 }

@@ -12,7 +12,8 @@
 namespace apio {
 namespace {
 
-void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts) {
+void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts,
+                const std::string& tag, std::vector<bench::BenchValue>& values) {
   sim::EpochSimulator simulator(spec);
   model::ModeAdvisor advisor;
 
@@ -34,6 +35,13 @@ void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts
     p.sync_bw = bench::run_point(simulator, sync_cfg, &advisor);
     p.async_bw = bench::run_point(simulator, async_cfg, &advisor);
     points.push_back(p);
+
+    // Headline values for the regression gate: the simulator sweep is
+    // deterministic (fixed seed, contention sigma zeroed), so these
+    // compare under the tight "det" tolerance.
+    const std::string point_tag = tag + ".nodes" + std::to_string(nodes);
+    values.push_back({point_tag + ".sync_bw", p.sync_bw, "B/s", "det"});
+    values.push_back({point_tag + ".async_bw", p.async_bw, "B/s", "det"});
   }
 
   // Second pass: print measurements next to the fitted estimates.
@@ -44,10 +52,12 @@ void run_system(const sim::SystemSpec& spec, const std::vector<int>& node_counts
 }  // namespace apio
 
 int main() {
+  std::vector<apio::bench::BenchValue> values;
   apio::run_system(apio::sim::SystemSpec::summit(),
-                   {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048});
+                   {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}, "summit",
+                   values);
   apio::run_system(apio::sim::SystemSpec::cori_haswell(),
-                   {1, 2, 4, 8, 16, 32, 64, 128, 256});
-  apio::bench::record_bench_metrics("fig3_vpic_write");
-  return 0;
+                   {1, 2, 4, 8, 16, 32, 64, 128, 256}, "cori", values);
+  return apio::bench::record_bench_metrics("fig3_vpic_write", "weak-scaling",
+                                           values);
 }

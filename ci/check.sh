@@ -2,10 +2,16 @@
 # Full verification pass for apio:
 #
 #   1. default build + complete ctest suite (includes the apio_lint
-#      concurrency-hygiene check as a test case),
-#   2. clang-tidy preset (skipped with a notice when clang-tidy is not
+#      concurrency-hygiene check and the bench-smoke fixtures as test
+#      cases),
+#   2. bench regression gate: fig3/fig7 re-emit their standardized
+#      result JSON and apio_bench_compare diffs it against the committed
+#      bench/baselines/ (hard gate; regenerate intentional moves with
+#      ci/update_baselines.sh).  The sanitizer presets build with
+#      APIO_BUILD_BENCHMARKS=OFF, so sanitized runs never hit the gate.
+#   3. clang-tidy preset (skipped with a notice when clang-tidy is not
 #      installed — the GCC-only CI image does not ship it),
-#   3. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
+#   4. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
 #      suite plus reduced-iteration stress tests; zero reports allowed).
 #
 # Usage: ci/check.sh [--skip-tsan]
@@ -21,12 +27,25 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/3] default build + full test suite"
+echo "==> [1/4] default build + full test suite"
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "==> [2/3] clang-tidy"
+echo "==> [2/4] bench regression gate"
+BENCH_JSON_DIR="build/bench-json"
+rm -rf "${BENCH_JSON_DIR}"
+mkdir -p "${BENCH_JSON_DIR}"
+APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig3_vpic_write.jsonl" \
+  build/bench/fig3_vpic_write >/dev/null
+APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
+  build/bench/fig7_overlap >/dev/null
+build/tools/apio_bench_compare \
+  "${BENCH_JSON_DIR}/fig3_vpic_write.jsonl" \
+  "${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
+  --baselines bench/baselines --tol-det 10 --tol-wall 60
+
+echo "==> [3/4] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "${JOBS}"
@@ -35,9 +54,9 @@ else
 fi
 
 if [[ "${SKIP_TSAN}" -eq 1 ]]; then
-  echo "==> [3/3] ThreadSanitizer suite skipped (--skip-tsan)"
+  echo "==> [4/4] ThreadSanitizer suite skipped (--skip-tsan)"
 else
-  echo "==> [3/3] ThreadSanitizer build + tsan-labelled suite"
+  echo "==> [4/4] ThreadSanitizer build + tsan-labelled suite"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench baselines the regression gate
+# (apio_bench_compare) diffs against.  Run after an intentional change
+# to the simulator, the model, or a gated bench's configuration, then
+# commit the refreshed bench/baselines/*.jsonl together with the change
+# that moved the numbers.
+#
+# Usage: ci/update_baselines.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -d "${BUILD}/bench" ]]; then
+  echo "error: ${BUILD}/bench not found — build the default preset first" >&2
+  exit 2
+fi
+
+mkdir -p bench/baselines
+for bench in fig3_vpic_write fig7_overlap; do
+  out="bench/baselines/${bench}.jsonl"
+  rm -f "${out}"
+  APIO_BENCH_JSON="${out}" "${BUILD}/bench/${bench}" >/dev/null
+  echo "regenerated ${out}"
+done
+
+"${BUILD}/tools/apio_bench_compare" bench/baselines/*.jsonl \
+  --baselines bench/baselines >/dev/null
+echo "baselines self-consistent; commit bench/baselines/ with your change"

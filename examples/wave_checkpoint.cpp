@@ -5,8 +5,10 @@
 // structure the paper evaluates, with real stencil work instead of
 // sleeps, and prints the per-phase overlap achieved.
 #include <cstdio>
+#include <memory>
 
 #include "common/units.h"
+#include "obs/epoch_analyzer.h"
 #include "storage/memory_backend.h"
 #include "storage/throttled_backend.h"
 #include "vol/async_connector.h"
@@ -21,6 +23,13 @@ int main() {
   auto file = h5::File::create(std::make_shared<storage::ThrottledBackend>(
       std::make_shared<storage::MemoryBackend>(), throttle));
   auto connector = std::make_shared<vol::AsyncConnector>(file);
+
+  // Epoch analyzer: consumes the connector's IoRecord stream plus the
+  // EpochScope markers run_checkpoint_app emits, and reconstructs per
+  // checkpoint t_comp / t_io / t_transact with Eq. 2a/2b predictions.
+  auto analyzer = std::make_shared<obs::EpochAnalyzer>();
+  connector->add_observer(analyzer);
+  analyzer->attach();
 
   workloads::EqsimParams params;
   params.domain = {48, 48, 48};
@@ -57,5 +66,9 @@ int main() {
                            result.checkpoint_io_seconds.size())
                   .c_str());
   connector->close();
+
+  analyzer->detach();
+  const obs::EpochReport report = analyzer->report();
+  std::printf("\n%s\n%s", report.table().c_str(), report.summary().c_str());
   return 0;
 }

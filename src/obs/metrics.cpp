@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -136,6 +137,30 @@ void Histogram::reset() noexcept {
 // ---------------------------------------------------------------------------
 // Snapshot
 
+double HistogramSnapshot::quantile_seconds(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample, 1-based ("nearest-rank" definition).
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] < target) {
+      cumulative += buckets[i];
+      continue;
+    }
+    // Interpolate inside bucket i.  Bucket 0 additionally holds
+    // sub-nanosecond values, so its lower edge is taken as 0.
+    const double lower = i == 0 ? 0.0 : Histogram::bucket_lower_seconds(i);
+    const double upper = Histogram::bucket_lower_seconds(i + 1);
+    const double within = static_cast<double>(target - cumulative) /
+                          static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * within;
+  }
+  return Histogram::bucket_lower_seconds(buckets.size());
+}
+
 std::uint64_t RegistrySnapshot::counter_total(const std::string& name) const {
   auto it = counters.find(name);
   return it != counters.end() ? it->second.total : 0;
@@ -165,7 +190,10 @@ std::string RegistrySnapshot::summary() const {
     os << "  latency histograms (log2 ns buckets):\n";
     for (const auto& [name, h] : histograms) {
       os << "    " << name << ": n=" << h.count << " mean="
-         << format_seconds(h.mean_seconds()) << " total="
+         << format_seconds(h.mean_seconds()) << " p50="
+         << format_seconds(h.p50_seconds()) << " p95="
+         << format_seconds(h.p95_seconds()) << " p99="
+         << format_seconds(h.p99_seconds()) << " total="
          << format_seconds(h.sum_seconds) << '\n';
       for (std::size_t i = 0; i < h.buckets.size(); ++i) {
         if (h.buckets[i] == 0) continue;
@@ -207,7 +235,10 @@ std::string RegistrySnapshot::to_json() const {
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(name) << "\":{\"count\":" << h.count
-       << ",\"sum_seconds\":" << h.sum_seconds << ",\"buckets\":[";
+       << ",\"sum_seconds\":" << h.sum_seconds
+       << ",\"p50_seconds\":" << h.p50_seconds()
+       << ",\"p95_seconds\":" << h.p95_seconds()
+       << ",\"p99_seconds\":" << h.p99_seconds() << ",\"buckets\":[";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) os << ',';
       os << h.buckets[i];

@@ -121,6 +121,16 @@ struct HistogramSnapshot {
   double mean_seconds() const {
     return count > 0 ? sum_seconds / static_cast<double>(count) : 0.0;
   }
+
+  /// Quantile estimate from the log2 buckets (q in [0, 1]): walks the
+  /// cumulative counts to the target bucket and interpolates linearly
+  /// inside it.  Resolution is bounded by the bucket width (a factor of
+  /// 2), which is plenty for drift thresholds keyed on tail latency.
+  double quantile_seconds(double q) const;
+
+  double p50_seconds() const { return quantile_seconds(0.50); }
+  double p95_seconds() const { return quantile_seconds(0.95); }
+  double p99_seconds() const { return quantile_seconds(0.99); }
 };
 
 /// Coherent-enough copy of the whole registry (each metric is read

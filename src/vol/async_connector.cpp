@@ -172,6 +172,7 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
     token = selection_to_token(selection);
   }
   auto record_completion = [this, t0, blocking, bytes = data.size(), ranks, emit,
+                            origin_rank = obs::thread_rank(),
                             path = std::move(path), token = std::move(token)] {
     if (!emit) return;
     IoRecord record;
@@ -180,6 +181,7 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
     record.selection = token;
     record.bytes = bytes;
     record.ranks = ranks;
+    record.origin_rank = origin_rank;
     record.issue_time = t0;
     record.blocking_seconds = blocking;
     record.completion_seconds = clock_->now() - t0;
@@ -243,6 +245,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
       record.op = IoOp::kRead;
       record.bytes = out.size();
       record.ranks = reported_ranks();
+      record.origin_rank = obs::thread_rank();
       record.issue_time = t0;
       record.blocking_seconds = dt;
       record.completion_seconds = dt;
@@ -271,6 +274,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     token = selection_to_token(selection);
   }
   auto done = enqueue_ordered([this, ds, selection, out, t0, ranks, emit,
+                               origin_rank = obs::thread_rank(),
                                path = std::move(path),
                                token = std::move(token)]() mutable {
     APIO_ASSERT_ON_STREAM();
@@ -284,6 +288,7 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     record.selection = std::move(token);
     record.bytes = out.size();
     record.ranks = ranks;
+    record.origin_rank = origin_rank;
     record.issue_time = t0;
     record.blocking_seconds = 0.0;  // caller was not blocked
     record.completion_seconds = clock_->now() - t0;
@@ -322,6 +327,7 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
     record.op = IoOp::kPrefetch;
     record.bytes = bytes;
     record.ranks = reported_ranks();
+    record.origin_rank = obs::thread_rank();
     record.issue_time = t0;
     record.blocking_seconds = clock_->now() - t0;
     record.async = true;
@@ -339,13 +345,15 @@ RequestPtr AsyncConnector::flush() {
   const double t0 = clock_->now();
   const bool emit = has_observers();
   auto done = enqueue_ordered([this, file = file_, t0, emit,
-                               ranks = reported_ranks()] {
+                               ranks = reported_ranks(),
+                               origin_rank = obs::thread_rank()] {
     APIO_ASSERT_ON_STREAM();
     file->flush();
     if (!emit) return;
     IoRecord record;
     record.op = IoOp::kFlush;
     record.ranks = ranks;
+    record.origin_rank = origin_rank;
     record.issue_time = t0;
     record.blocking_seconds = 0.0;  // caller was not blocked
     record.completion_seconds = clock_->now() - t0;

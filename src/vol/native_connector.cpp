@@ -54,6 +54,7 @@ RequestPtr NativeConnector::dataset_write(h5::Dataset ds,
     record.op = IoOp::kWrite;
     record.bytes = data.size();
     record.ranks = reported_ranks();
+    record.origin_rank = obs::thread_rank();
     record.issue_time = t0;
     record.blocking_seconds = dt;
     record.completion_seconds = dt;
@@ -82,6 +83,7 @@ RequestPtr NativeConnector::dataset_read(h5::Dataset ds,
     record.op = IoOp::kRead;
     record.bytes = out.size();
     record.ranks = reported_ranks();
+    record.origin_rank = obs::thread_rank();
     record.issue_time = t0;
     record.blocking_seconds = dt;
     record.completion_seconds = dt;
@@ -104,6 +106,7 @@ void NativeConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
     record.op = IoOp::kPrefetch;
     record.bytes = selection.npoints(ds.dims()) * ds.element_size();
     record.ranks = reported_ranks();
+    record.origin_rank = obs::thread_rank();
     record.issue_time = t0;
     record.async = false;
     if (observers_want_detail()) {
@@ -122,6 +125,7 @@ RequestPtr NativeConnector::flush() {
     IoRecord record;
     record.op = IoOp::kFlush;
     record.ranks = reported_ranks();
+    record.origin_rank = obs::thread_rank();
     record.issue_time = t0;
     record.blocking_seconds = dt;
     record.completion_seconds = dt;

@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "obs/epoch_analyzer.h"
 
 namespace apio::workloads {
 
@@ -41,6 +42,10 @@ BdCatsRunResult BdCatsIoKernel::run(vol::Connector& connector,
   };
 
   for (int step = 0; step < params_.time_steps; ++step) {
+    // One model epoch per time step.  This loop is I/O-first (reads,
+    // then the clustering compute), so the compute phase is bracketed
+    // explicitly for the epoch analyzer.
+    obs::EpochScope epoch(step);
     const double t0 = clock.now();
     auto group = connector.file()->root().open_group(VpicIoKernel::step_group(step));
     std::vector<vol::RequestPtr> reads;
@@ -66,7 +71,9 @@ BdCatsRunResult BdCatsIoKernel::run(vol::Connector& connector,
     if (params_.prefetch && step + 1 < params_.time_steps) {
       prefetch_step(step + 1);
     }
+    epoch.compute_start();
     simulated_compute(params_.compute_seconds);
+    epoch.compute_done();
 
     const double phase_io = comm.allreduce_max(blocking);
     if (rank == 0) result.step_io_seconds.push_back(phase_io);

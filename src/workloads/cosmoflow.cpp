@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "obs/epoch_analyzer.h"
 
 namespace apio::workloads {
 namespace {
@@ -105,6 +106,11 @@ CosmoflowRunResult CosmoflowProxy::train(vol::Connector& connector,
   std::vector<float> batch(batch_elems);
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
     for (int b = 0; b < batches_per_epoch; ++b) {
+      // One model epoch per training batch (running counter across
+      // training epochs): read-then-train, so the compute phase is
+      // bracketed explicitly for the epoch analyzer.
+      obs::EpochScope marker(
+          static_cast<std::int64_t>(epoch) * batches_per_epoch + b);
       const double t0 = clock.now();
       auto req = connector.dataset_read(
           ds, batch_selection(b), std::as_writable_bytes(std::span<float>(batch)));
@@ -118,7 +124,9 @@ CosmoflowRunResult CosmoflowProxy::train(vol::Connector& connector,
         const bool more = (b + 1 < batches_per_epoch) || (epoch + 1 < params_.epochs);
         if (more) connector.prefetch(ds, batch_selection(next));
       }
+      marker.compute_start();
       simulated_compute(params_.seconds_per_batch);
+      marker.compute_done();
 
       const double phase_io = comm.allreduce_max(blocking);
       if (rank == 0) result.batch_io_seconds.push_back(phase_io);

@@ -3,6 +3,7 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/units.h"
+#include "obs/epoch_analyzer.h"
 
 namespace apio::workloads {
 
@@ -43,7 +44,12 @@ VpicRunResult VpicIoKernel::run(vol::Connector& connector,
   std::vector<vol::RequestPtr> outstanding;
 
   for (int step = 0; step < params_.time_steps; ++step) {
+    // One model epoch per time step: compute phase, then the I/O phase
+    // (the epoch analyzer reconstructs t_comp/t_io/t_transact from
+    // these markers plus the connector's IoRecords).
+    obs::EpochScope epoch(step);
     simulated_compute(params_.compute_seconds);
+    epoch.compute_done();
 
     // Rank 0 creates this step's group and datasets (metadata is a
     // collective-by-convention operation, as in parallel HDF5).

@@ -1,0 +1,166 @@
+// Regression-gate semantics of tools/bench_compare: JSONL parsing,
+// last-record-wins merging, and the noise-aware comparison rules the
+// CI gate (apio_bench_compare + ci/check.sh) relies on.
+#include <gtest/gtest.h>
+
+#include "bench_compare.h"
+
+namespace apio::bench {
+namespace {
+
+std::string sample_line(const std::string& bench, const std::string& config,
+                        double value, const std::string& noise = "det",
+                        const std::string& units = "s") {
+  return "{\"bench\":\"" + bench + "\",\"schema\":1,\"config\":\"" + config +
+         "\",\"values\":[{\"metric\":\"total\",\"value\":" +
+         std::to_string(value) + ",\"units\":\"" + units + "\",\"noise\":\"" +
+         noise + "\"}],\"metrics\":{\"counters\":{},\"gauges\":{},"
+         "\"histograms\":{}}}";
+}
+
+std::vector<BenchRecord> parse_ok(const std::string& text) {
+  std::vector<BenchRecord> records;
+  std::string error;
+  EXPECT_TRUE(parse_bench_jsonl(text, &records, &error)) << error;
+  return records;
+}
+
+TEST(BenchCompareTest, ParsesRecordsAndIgnoresUnknownKeys) {
+  const auto records =
+      parse_ok(sample_line("fig7", "cfg", 12.5) + "\n\n" +
+               "{\"not_a_bench\":true}\n" + sample_line("fig3", "cfg", 3.0));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].bench, "fig7");
+  EXPECT_EQ(records[0].schema, 1);
+  EXPECT_EQ(records[0].config, "cfg");
+  ASSERT_EQ(records[0].values.size(), 1u);
+  EXPECT_EQ(records[0].values[0].metric, "total");
+  EXPECT_NEAR(records[0].values[0].value, 12.5, 1e-9);
+  EXPECT_EQ(records[0].values[0].units, "s");
+  EXPECT_EQ(records[0].values[0].noise, "det");
+}
+
+TEST(BenchCompareTest, MalformedJsonReportsLineNumber) {
+  std::vector<BenchRecord> records;
+  std::string error;
+  EXPECT_FALSE(
+      parse_bench_jsonl(sample_line("a", "", 1.0) + "\n{\"bench\": oops}\n",
+                        &records, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(BenchCompareTest, LastRecordPerBenchConfigWins) {
+  // Appended accumulations (several runs into one APIO_BENCH_JSON file)
+  // must gate against the freshest sample only.
+  const auto records = parse_ok(sample_line("fig7", "cfg", 100.0) + "\n" +
+                                sample_line("fig7", "cfg", 10.0));
+  const auto merged = merge_records(records);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(merged.at({"fig7", "cfg"}).values[0].value, 10.0, 1e-9);
+
+  const auto result =
+      compare_records(records, parse_ok(sample_line("fig7", "cfg", 10.0)),
+                      CompareOptions{});
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchCompareTest, InjectedRegressionBeyondToleranceFails) {
+  const auto baseline = parse_ok(sample_line("fig7", "cfg", 100.0));
+  CompareOptions options;  // det tolerance 10%
+
+  // Clean rerun (identical values): passes.
+  EXPECT_TRUE(
+      compare_records(parse_ok(sample_line("fig7", "cfg", 100.0)), baseline,
+                      options)
+          .ok());
+  // Small drift inside tolerance: passes.
+  EXPECT_TRUE(
+      compare_records(parse_ok(sample_line("fig7", "cfg", 105.0)), baseline,
+                      options)
+          .ok());
+  // Injected >= 25% regression: fails (the CI acceptance case).
+  const auto regressed = compare_records(
+      parse_ok(sample_line("fig7", "cfg", 125.0)), baseline, options);
+  ASSERT_EQ(regressed.violations.size(), 1u);
+  EXPECT_EQ(regressed.violations[0].bench, "fig7");
+  EXPECT_EQ(regressed.violations[0].metric, "total");
+  // Deterministic values gate symmetrically: a 25% "improvement" means
+  // the committed baseline is stale and must be regenerated.
+  EXPECT_FALSE(
+      compare_records(parse_ok(sample_line("fig7", "cfg", 75.0)), baseline,
+                      options)
+          .ok());
+}
+
+TEST(BenchCompareTest, WallNoiseGatesOneSidedByUnits) {
+  CompareOptions options;  // wall tolerance 60%
+  // Durations (s): only an increase is a regression.
+  const auto base_s = parse_ok(sample_line("b", "c", 10.0, "wall", "s"));
+  EXPECT_TRUE(compare_records(parse_ok(sample_line("b", "c", 15.0, "wall", "s")),
+                              base_s, options)
+                  .ok());  // +50% < 60%
+  EXPECT_FALSE(
+      compare_records(parse_ok(sample_line("b", "c", 17.0, "wall", "s")),
+                      base_s, options)
+          .ok());  // +70%
+  EXPECT_TRUE(compare_records(parse_ok(sample_line("b", "c", 2.0, "wall", "s")),
+                              base_s, options)
+                  .ok());  // big improvement: fine for wall clock
+
+  // Rates (B/s): only a decrease is a regression.
+  const auto base_bw = parse_ok(sample_line("b", "c", 100.0, "wall", "B/s"));
+  EXPECT_TRUE(
+      compare_records(parse_ok(sample_line("b", "c", 500.0, "wall", "B/s")),
+                      base_bw, options)
+          .ok());
+  EXPECT_FALSE(
+      compare_records(parse_ok(sample_line("b", "c", 30.0, "wall", "B/s")),
+                      base_bw, options)
+          .ok());
+}
+
+TEST(BenchCompareTest, MissingMetricsAndRecordsAreViolations) {
+  const std::string two_metrics =
+      "{\"bench\":\"b\",\"schema\":1,\"config\":\"c\",\"values\":["
+      "{\"metric\":\"m1\",\"value\":1,\"units\":\"s\",\"noise\":\"det\"},"
+      "{\"metric\":\"m2\",\"value\":2,\"units\":\"s\",\"noise\":\"det\"}]}";
+  const std::string one_metric =
+      "{\"bench\":\"b\",\"schema\":1,\"config\":\"c\",\"values\":["
+      "{\"metric\":\"m1\",\"value\":1,\"units\":\"s\",\"noise\":\"det\"}]}";
+
+  // Metric dropped from the current run: violation.
+  auto dropped = compare_records(parse_ok(one_metric), parse_ok(two_metrics),
+                                 CompareOptions{});
+  ASSERT_EQ(dropped.violations.size(), 1u);
+  EXPECT_EQ(dropped.violations[0].metric, "m2");
+
+  // Metric added without regenerating baselines: violation too.
+  auto added = compare_records(parse_ok(two_metrics), parse_ok(one_metric),
+                               CompareOptions{});
+  ASSERT_EQ(added.violations.size(), 1u);
+  EXPECT_EQ(added.violations[0].metric, "m2");
+
+  // Whole bench record missing on either side: violation.
+  EXPECT_FALSE(compare_records({}, parse_ok(one_metric), CompareOptions{}).ok());
+  EXPECT_FALSE(compare_records(parse_ok(one_metric), {}, CompareOptions{}).ok());
+}
+
+TEST(BenchCompareTest, HigherIsWorseFollowsUnits) {
+  EXPECT_TRUE(higher_is_worse("s"));
+  EXPECT_TRUE(higher_is_worse("ms"));
+  EXPECT_FALSE(higher_is_worse("B/s"));
+  EXPECT_FALSE(higher_is_worse("ops/s"));
+}
+
+TEST(BenchCompareTest, ZeroBaselineOnlyMatchesZero) {
+  const auto baseline = parse_ok(sample_line("b", "c", 0.0));
+  EXPECT_TRUE(compare_records(parse_ok(sample_line("b", "c", 0.0)), baseline,
+                              CompareOptions{})
+                  .ok());
+  EXPECT_FALSE(compare_records(parse_ok(sample_line("b", "c", 0.5)), baseline,
+                               CompareOptions{})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace apio::bench

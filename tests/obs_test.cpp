@@ -303,6 +303,59 @@ TEST(HistogramTest, Log2BucketsAndMoments) {
   EXPECT_EQ(buckets[Histogram::bucket_index(3.0e-6)], 1u);
 }
 
+TEST(HistogramTest, QuantilesFromLog2Buckets) {
+  Histogram hist;
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile_seconds(0.5), 0.0);  // no samples
+
+  // 100 samples in one bucket: every quantile interpolates inside
+  // [1024ns, 2048ns), monotonically in q.
+  for (int i = 0; i < 100; ++i) hist.record_seconds(1.5e-6);
+  HistogramSnapshot one;
+  one.count = hist.count();
+  one.sum_seconds = hist.sum_seconds();
+  one.buckets = hist.buckets();
+  EXPECT_GE(one.p50_seconds(), 1024e-9);
+  EXPECT_LE(one.p50_seconds(), 2048e-9);
+  EXPECT_LE(one.p50_seconds(), one.p95_seconds());
+  EXPECT_LE(one.p95_seconds(), one.p99_seconds());
+  EXPECT_LE(one.p99_seconds(), 2048e-9);
+
+  // Bimodal: 90 fast samples, 10 slow ones two decades up.  p50 stays
+  // in the fast bucket, p95/p99 land in the slow one.
+  Histogram bimodal;
+  for (int i = 0; i < 90; ++i) bimodal.record_seconds(1.0e-6);
+  for (int i = 0; i < 10; ++i) bimodal.record_seconds(1.0e-4);
+  HistogramSnapshot two;
+  two.count = bimodal.count();
+  two.sum_seconds = bimodal.sum_seconds();
+  two.buckets = bimodal.buckets();
+  EXPECT_LT(two.p50_seconds(), 3e-6);
+  EXPECT_GT(two.p95_seconds(), 5e-5);
+  EXPECT_GT(two.p99_seconds(), 5e-5);
+  EXPECT_LE(two.p99_seconds(), 2e-4);
+
+  // Extremes clamp instead of misbehaving.
+  EXPECT_GT(two.quantile_seconds(0.0), 0.0);   // smallest sample's bucket
+  EXPECT_LE(two.quantile_seconds(1.0), 2e-4);  // largest sample's bucket
+}
+
+TEST(RegistryTest, SnapshotJsonCarriesPercentiles) {
+  ScopedObservability scoped;
+  for (int i = 0; i < 20; ++i) {
+    Registry::instance().histogram("q.latency").record_seconds(1e-3);
+  }
+  const auto snap = Registry::instance().snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"p50_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_seconds\":"), std::string::npos);
+  const std::string text = snap.summary();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
 TEST(RegistryTest, StableReferencesAcrossReset) {
   auto& counter = Registry::instance().counter("obs_test.stable");
   counter.add(5);
@@ -390,7 +443,7 @@ TEST(CompositeObserverTest, FansOutAndAggregatesDetail) {
   EXPECT_EQ(plain->count(), 2u);
 }
 
-TEST(CompositeObserverTest, SetObserverShimReplacesWholeChain) {
+TEST(CompositeObserverTest, AddRemoveObserversOnConnector) {
   auto file = mem_file();
   vol::NativeConnector conn(file);
   auto first = std::make_shared<Probe>();
@@ -399,9 +452,8 @@ TEST(CompositeObserverTest, SetObserverShimReplacesWholeChain) {
   conn.add_observer(second);
   EXPECT_EQ(conn.observer_chain()->size(), 2u);
 
-  // Legacy semantics: one slot, replacing everything.
-  auto third = std::make_shared<Probe>();
-  conn.set_observer(third);  // apio-lint: allow(set-observer)
+  // Removing one observer leaves the rest of the chain receiving.
+  conn.remove_observer(first);
   EXPECT_EQ(conn.observer_chain()->size(), 1u);
 
   auto ds = file->root().create_dataset("d", h5::Datatype::kUInt8, {4});
@@ -409,10 +461,13 @@ TEST(CompositeObserverTest, SetObserverShimReplacesWholeChain) {
   conn.dataset_write(ds, h5::Selection::all(),
                      std::as_bytes(std::span<const std::uint8_t>(data)));
   EXPECT_EQ(first->count(), 0u);
-  EXPECT_EQ(third->count(), 1u);
+  EXPECT_EQ(second->count(), 1u);
 
-  conn.set_observer(nullptr);  // apio-lint: allow(set-observer)
+  conn.observer_chain()->clear();
   EXPECT_TRUE(conn.observer_chain()->empty());
+  conn.dataset_write(ds, h5::Selection::all(),
+                     std::as_bytes(std::span<const std::uint8_t>(data)));
+  EXPECT_EQ(second->count(), 1u);
 }
 
 TEST(MetricsObserverTest, RoutesOpsToRegistryCounters) {

@@ -1,0 +1,138 @@
+// CI regression gate for the figure-reproduction benches: diffs
+// standardized bench JSON (as bench::record_bench_metrics emits it)
+// against the committed baselines in bench/baselines/, with noise-aware
+// thresholds.  Exits 0 when every compared value is inside tolerance,
+// 1 on any violation, 2 on usage or parse errors.
+//
+//   apio_bench_compare current1.jsonl [current2.jsonl ...]
+//       --baselines bench/baselines [--tol-det 10] [--tol-wall 60]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_compare.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: apio_bench_compare <current.jsonl>... --baselines DIR\n"
+      "           [--tol-det PCT] [--tol-wall PCT]\n"
+      "  --tol-det   symmetric tolerance for deterministic values "
+      "(default 10%%)\n"
+      "  --tol-wall  one-sided tolerance for wall-clock values "
+      "(default 60%%)\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool load_records(const std::string& path,
+                  std::vector<apio::bench::BenchRecord>* records) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "apio_bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!apio::bench::parse_bench_jsonl(text, records, &error)) {
+    std::fprintf(stderr, "apio_bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> current_paths;
+  std::string baselines_dir;
+  apio::bench::CompareOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baselines") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      baselines_dir = value;
+    } else if (arg == "--tol-det") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      options.det_tolerance = std::atof(value) / 100.0;
+    } else if (arg == "--tol-wall") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      options.wall_tolerance = std::atof(value) / 100.0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "apio_bench_compare: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      current_paths.push_back(arg);
+    }
+  }
+  if (current_paths.empty() || baselines_dir.empty()) return usage();
+
+  std::vector<apio::bench::BenchRecord> current;
+  for (const auto& path : current_paths) {
+    if (!load_records(path, &current)) return 2;
+  }
+
+  std::vector<apio::bench::BenchRecord> baseline;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(baselines_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "apio_bench_compare: cannot open baselines dir %s\n",
+                 baselines_dir.c_str());
+    return 2;
+  }
+  int baseline_files = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".jsonl") {
+      continue;
+    }
+    if (!load_records(entry.path().string(), &baseline)) return 2;
+    ++baseline_files;
+  }
+  if (baseline_files == 0) {
+    std::fprintf(stderr,
+                 "apio_bench_compare: no *.jsonl baselines under %s\n",
+                 baselines_dir.c_str());
+    return 2;
+  }
+
+  const auto result = apio::bench::compare_records(current, baseline, options);
+  std::printf("apio_bench_compare: %d record(s), %d value(s) compared "
+              "against %d baseline file(s)\n",
+              result.compared_records, result.compared_values, baseline_files);
+  for (const auto& v : result.violations) {
+    std::fprintf(stderr, "VIOLATION %s[%s] %s: %s\n", v.bench.c_str(),
+                 v.config.c_str(), v.metric.empty() ? "-" : v.metric.c_str(),
+                 v.reason.c_str());
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "apio_bench_compare: %zu violation(s)\n",
+                 result.violations.size());
+    return 1;
+  }
+  std::printf("apio_bench_compare: OK\n");
+  return 0;
+}

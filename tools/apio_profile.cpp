@@ -22,6 +22,19 @@
 //       byte counters against the connector's own AsyncStats and exits
 //       non-zero on disagreement.
 //
+//   apio_profile analyze [--scenario ideal|partial|slowdown|all]
+//                [--ranks N] [--epochs N] [--bytes-mib N] [--pfs-mibps N]
+//                [--chrome FILE] [--max-drift PCT]
+//       Epoch-timeline analysis demo: runs a deterministic fig1-style
+//       issue-then-overlap-then-wait workload per scenario with an
+//       obs::EpochAnalyzer attached, reconstructs per-epoch t_comp /
+//       t_io / t_transact from the IoRecord stream plus EpochScope
+//       markers, and prints observed vs Eq. 2a/2b-predicted epoch
+//       durations with the Fig. 1 classification.  --max-drift exits
+//       non-zero when any scenario's worst per-epoch relative error
+//       exceeds the given percentage; --chrome writes per-epoch trace
+//       lanes (one scenario per file).
+//
 //   apio_profile <trace.csv>     (legacy alias for `report`)
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +48,7 @@
 
 #include "common/error.h"
 #include "common/units.h"
+#include "obs/epoch_analyzer.h"
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
 #include "obs/span.h"
@@ -45,6 +59,7 @@
 #include "vol/native_connector.h"
 #include "vol/trace.h"
 #include "workloads/vpic_io.h"
+#include "workloads/workload_common.h"
 
 namespace {
 
@@ -56,8 +71,11 @@ int usage(const char* argv0) {
                "       %s replay <trace.csv> [--mode sync|async] [--pfs-mibps N] "
                "[--chrome FILE]\n"
                "       %s run vpic [--ranks N] [--particles N] [--steps N] "
-               "[--mode sync|async|adaptive] [--pfs-mibps N] [--chrome FILE]\n",
-               argv0, argv0, argv0);
+               "[--mode sync|async|adaptive] [--pfs-mibps N] [--chrome FILE]\n"
+               "       %s analyze [--scenario ideal|partial|slowdown|all] "
+               "[--ranks N] [--epochs N] [--bytes-mib N] [--pfs-mibps N] "
+               "[--chrome FILE] [--max-drift PCT]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -243,6 +261,126 @@ int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
   return 0;
 }
 
+/// Runs one deterministic Fig. 1 scenario through the epoch analyzer:
+/// per epoch each rank issues one async write (the staging copy is the
+/// transactional cost), overlaps `t_comp` seconds of simulated compute,
+/// then waits for its request — the paper's issue-then-overlap epoch
+/// structure, for which Eq. 2b is exact in the ideal and slowdown
+/// scenarios and within ~t_comp/t_io for partial overlap.
+///
+/// `comp_factor` scales the compute phase relative to the estimated
+/// aggregate I/O time: > 1 gives Fig. 1a (ideal), a small positive
+/// fraction Fig. 1b (partial), zero Fig. 1c (slowdown — the staging
+/// overhead buys nothing).
+int run_analyze_scenario(const std::string& scenario, int ranks, int epochs,
+                         double mibps, std::uint64_t bytes_per_rank,
+                         double comp_factor, const std::string& chrome_path,
+                         double max_drift_pct) {
+  auto file = h5::File::create(make_pfs(mibps));
+  for (int r = 0; r < ranks; ++r) {
+    file->root().create_dataset("rank" + std::to_string(r),
+                                h5::Datatype::kUInt8, {bytes_per_rank});
+  }
+  auto connector = std::make_shared<vol::AsyncConnector>(file);
+  connector->set_reported_ranks(ranks);
+  auto analyzer = std::make_shared<obs::EpochAnalyzer>();
+  connector->add_observer(analyzer);
+  analyzer->attach();
+
+  // Estimated aggregate I/O time: the ranks' writes serialize on the
+  // shared background stream against one throttled PFS.
+  const double agg_io =
+      static_cast<double>(bytes_per_rank) * ranks / (mibps * kMiB) +
+      2e-3 * ranks;
+  const double t_comp = comp_factor * agg_io;
+
+  pmpi::run(ranks, [&](pmpi::Communicator& comm) {
+    auto ds =
+        connector->file()->root().open_dataset("rank" + std::to_string(comm.rank()));
+    std::vector<std::byte> buffer(bytes_per_rank,
+                                  std::byte{static_cast<unsigned char>(comm.rank())});
+    for (int e = 0; e < epochs; ++e) {
+      obs::EpochScope scope(e);
+      auto request = connector->dataset_write(
+          ds, h5::Selection::all(), std::span<const std::byte>(buffer));
+      if (t_comp > 0.0) {
+        scope.compute_start();
+        workloads::simulated_compute(t_comp);
+        scope.compute_done();
+      }
+      request->wait();
+      scope.end();
+      comm.barrier();
+    }
+  });
+  connector->wait_all();
+  connector->close();
+  analyzer->detach();
+
+  const obs::EpochReport report = analyzer->report();
+  std::printf("\n--- scenario %s: %d ranks, %d epochs, %s/rank/epoch, "
+              "t_comp = %.0f%% of est. t_io ---\n",
+              scenario.c_str(), ranks, epochs,
+              format_bytes(bytes_per_rank).c_str(), 100.0 * comp_factor);
+  std::fputs(report.table().c_str(), stdout);
+  std::fputs(report.summary().c_str(), stdout);
+
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out) throw IoError("cannot write '" + chrome_path + "'");
+    out << report.to_chrome_json();
+    std::printf("epoch trace -> %s\n", chrome_path.c_str());
+  }
+
+  if (max_drift_pct > 0.0 &&
+      100.0 * report.worst_relative_error > max_drift_pct) {
+    std::fprintf(stderr,
+                 "apio_profile analyze: scenario %s drift %.1f%% exceeds "
+                 "--max-drift %.1f%%\n",
+                 scenario.c_str(), 100.0 * report.worst_relative_error,
+                 max_drift_pct);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::string& scenario, int ranks, int epochs,
+                double mibps, std::uint64_t bytes_mib,
+                const std::string& chrome_path, double max_drift_pct) {
+  struct Scenario {
+    const char* name;
+    double comp_factor;
+  };
+  // Fig. 1: (a) compute dominates, (b) I/O dominates with a sliver of
+  // compute to hide, (c) nothing to overlap — pure staging overhead.
+  const std::vector<Scenario> catalog = {
+      {"ideal", 2.0}, {"partial", 0.05}, {"slowdown", 0.0}};
+
+  const std::uint64_t bytes_per_rank = bytes_mib * static_cast<std::uint64_t>(kMiB);
+  int rc = 0;
+  bool matched = false;
+  for (const auto& s : catalog) {
+    if (scenario != "all" && scenario != s.name) continue;
+    matched = true;
+    std::string chrome = chrome_path;
+    if (!chrome.empty() && scenario == "all") {
+      // One trace file per scenario: insert the name before the extension.
+      const std::size_t dot = chrome.find_last_of('.');
+      chrome = dot == std::string::npos
+                   ? chrome + "-" + s.name
+                   : chrome.substr(0, dot) + "-" + s.name + chrome.substr(dot);
+    }
+    rc |= run_analyze_scenario(s.name, ranks, epochs, mibps, bytes_per_rank,
+                               s.comp_factor, chrome, max_drift_pct);
+  }
+  if (!matched) {
+    std::fprintf(stderr, "apio_profile analyze: unknown scenario '%s'\n",
+                 scenario.c_str());
+    return 2;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +394,10 @@ int main(int argc, char** argv) {
   int ranks = 4;
   std::uint64_t particles = 32 * 1024;
   int steps = 3;
+  std::string scenario = "all";
+  int epochs = 4;
+  std::uint64_t bytes_mib = 16;
+  double max_drift = 0.0;
 
   auto parse_flags = [&](int start) -> bool {
     for (int i = start; i < argc; ++i) {
@@ -288,6 +430,22 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return false;
         steps = std::atoi(v);
+      } else if (flag == "--scenario") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        scenario = v;
+      } else if (flag == "--epochs") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        epochs = std::atoi(v);
+      } else if (flag == "--bytes-mib") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        bytes_mib = std::strtoull(v, nullptr, 10);
+      } else if (flag == "--max-drift") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        max_drift = std::atof(v);
       } else {
         std::fprintf(stderr, "apio_profile: unknown flag '%s'\n", flag.c_str());
         return false;
@@ -316,6 +474,13 @@ int main(int argc, char** argv) {
       }
       if (ranks < 1 || steps < 1 || particles == 0) return usage(argv[0]);
       return cmd_run_vpic(ranks, particles, steps, mode, mibps, chrome_path);
+    }
+    if (cmd == "analyze") {
+      ranks = 2;
+      if (!parse_flags(2)) return usage(argv[0]);
+      if (ranks < 1 || epochs < 1 || bytes_mib == 0) return usage(argv[0]);
+      return cmd_analyze(scenario, ranks, epochs, mibps, bytes_mib,
+                         chrome_path, max_drift);
     }
     // Legacy: a bare CSV path behaves like `report`.
     if (argc == 2 && cmd.rfind("--", 0) != 0) return cmd_report(argv[1]);

@@ -1,0 +1,392 @@
+#include "bench_compare.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace apio::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser.  Dependency-free on purpose —
+// the gate must build in every configuration; the documents it reads
+// are machine-generated one-liners, so the parser favours clarity over
+// speed and keeps values in a tiny variant tree.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    skip_ws();
+    auto value = parse_value();
+    if (value == nullptr) return nullptr;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after value");
+    return value;
+  }
+
+ private:
+  std::shared_ptr<JsonValue> fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return nullptr;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n':
+        if (consume_literal("null")) return std::make_shared<JsonValue>();
+        return fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  std::shared_ptr<JsonValue> parse_bool() {
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kBool;
+    if (consume_literal("true")) {
+      value->boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) return value;
+    return fail("bad literal");
+  }
+
+  std::shared_ptr<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kNumber;
+    value->number = parsed;
+    return value;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          // The emitters only escape control characters; decode the
+          // code point as a single byte (sufficient for < 0x80).
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          out->push_back(static_cast<char>(
+              std::strtol(hex.c_str(), nullptr, 16) & 0xff));
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> parse_string_value() {
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kString;
+    if (!parse_string(&value->string)) return nullptr;
+    return value;
+  }
+
+  std::shared_ptr<JsonValue> parse_array() {
+    consume('[');
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return value;
+    while (true) {
+      skip_ws();
+      auto element = parse_value();
+      if (element == nullptr) return nullptr;
+      value->array.push_back(std::move(element));
+      skip_ws();
+      if (consume(']')) return value;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  std::shared_ptr<JsonValue> parse_object() {
+    consume('{');
+    auto value = std::make_shared<JsonValue>();
+    value->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return value;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return nullptr;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      auto element = parse_value();
+      if (element == nullptr) return nullptr;
+      value->object[key] = std::move(element);
+      skip_ws();
+      if (consume('}')) return value;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find(const JsonObject& object, const std::string& key) {
+  auto it = object.find(key);
+  return it != object.end() ? it->second.get() : nullptr;
+}
+
+std::string get_string(const JsonObject& object, const std::string& key) {
+  const JsonValue* v = find(object, key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string : "";
+}
+
+double get_number(const JsonObject& object, const std::string& key,
+                  double fallback) {
+  const JsonValue* v = find(object, key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
+}
+
+}  // namespace
+
+bool parse_bench_jsonl(const std::string& text, std::vector<BenchRecord>* out,
+                       std::string* error) {
+  std::size_t line_start = 0;
+  int line_number = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::string parse_error;
+    auto root = JsonParser(line, &parse_error).parse();
+    if (root == nullptr || root->kind != JsonValue::Kind::kObject) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": " +
+                 (parse_error.empty() ? "not a JSON object" : parse_error);
+      }
+      return false;
+    }
+
+    BenchRecord record;
+    record.bench = get_string(root->object, "bench");
+    if (record.bench.empty()) continue;  // not a bench record; skip
+    record.schema = static_cast<int>(get_number(root->object, "schema", 0));
+    record.config = get_string(root->object, "config");
+    if (const JsonValue* values = find(root->object, "values");
+        values != nullptr && values->kind == JsonValue::Kind::kArray) {
+      for (const auto& entry : values->array) {
+        if (entry->kind != JsonValue::Kind::kObject) continue;
+        ComparedValue value;
+        value.metric = get_string(entry->object, "metric");
+        value.value = get_number(entry->object, "value", 0.0);
+        value.units = get_string(entry->object, "units");
+        value.noise = get_string(entry->object, "noise");
+        if (!value.metric.empty()) record.values.push_back(std::move(value));
+      }
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+std::map<std::pair<std::string, std::string>, BenchRecord> merge_records(
+    const std::vector<BenchRecord>& records) {
+  std::map<std::pair<std::string, std::string>, BenchRecord> merged;
+  for (const auto& record : records) {
+    merged[{record.bench, record.config}] = record;  // last record wins
+  }
+  return merged;
+}
+
+bool higher_is_worse(const std::string& units) {
+  // Durations regress upward; rates (B/s, ops/s, ...) regress downward.
+  return units == "s" || units == "seconds" || units == "ms" || units == "us" ||
+         units == "ns";
+}
+
+namespace {
+
+void compare_values(const BenchRecord& current, const BenchRecord& baseline,
+                    const CompareOptions& options, CompareResult* result) {
+  std::map<std::string, const ComparedValue*> current_by_metric;
+  for (const auto& value : current.values) {
+    current_by_metric[value.metric] = &value;
+  }
+
+  for (const auto& base : baseline.values) {
+    auto it = current_by_metric.find(base.metric);
+    if (it == current_by_metric.end()) {
+      result->violations.push_back(
+          {current.bench, current.config, base.metric,
+           "metric present in baseline but missing from current run"});
+      continue;
+    }
+    const ComparedValue& cur = *it->second;
+    current_by_metric.erase(it);
+    ++result->compared_values;
+
+    const double reference = std::abs(base.value);
+    const double delta = cur.value - base.value;
+    const double relative =
+        reference > 0.0 ? delta / reference : (delta == 0.0 ? 0.0 : 1e9);
+    const bool wall = base.noise == "wall" || cur.noise == "wall";
+    const double tolerance =
+        wall ? options.wall_tolerance : options.det_tolerance;
+
+    bool violated;
+    if (wall) {
+      // One-sided: only a move in the regression direction counts.
+      violated = higher_is_worse(base.units) ? relative > tolerance
+                                             : relative < -tolerance;
+    } else {
+      // Deterministic: any drift past the tolerance is a failure —
+      // including "improvements", which mean the baseline is stale.
+      violated = std::abs(relative) > tolerance;
+    }
+    if (violated) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%.6g -> %.6g %s (%+.1f%%, %s tolerance %.0f%%)",
+                    base.value, cur.value, base.units.c_str(),
+                    100.0 * relative, wall ? "wall" : "det",
+                    100.0 * tolerance);
+      result->violations.push_back(
+          {current.bench, current.config, base.metric, buf});
+    }
+  }
+
+  for (const auto& [metric, value] : current_by_metric) {
+    (void)value;
+    result->violations.push_back(
+        {current.bench, current.config, metric,
+         "metric missing from baseline — regenerate bench/baselines/"});
+  }
+}
+
+}  // namespace
+
+CompareResult compare_records(const std::vector<BenchRecord>& current,
+                              const std::vector<BenchRecord>& baseline,
+                              const CompareOptions& options) {
+  CompareResult result;
+  auto current_merged = merge_records(current);
+  auto baseline_merged = merge_records(baseline);
+
+  for (const auto& [key, base] : baseline_merged) {
+    auto it = current_merged.find(key);
+    if (it == current_merged.end()) {
+      result.violations.push_back(
+          {key.first, key.second, "",
+           "bench record present in baseline but missing from current run"});
+      continue;
+    }
+    ++result.compared_records;
+    compare_values(it->second, base, options, &result);
+    current_merged.erase(it);
+  }
+  for (const auto& [key, record] : current_merged) {
+    (void)record;
+    result.violations.push_back(
+        {key.first, key.second, "",
+         "bench record missing from baseline — regenerate bench/baselines/"});
+  }
+  return result;
+}
+
+}  // namespace apio::bench

@@ -1,0 +1,87 @@
+// Noise-aware comparison of standardized bench JSON against committed
+// baselines — the library behind tools/apio_bench_compare, split out so
+// the regression-gate semantics (tolerances, missing-metric handling,
+// last-record-wins merging) are unit-testable without spawning the CLI.
+//
+// Input format: one JSON object per line, as bench::record_bench_metrics
+// emits them:
+//   {"bench":NAME,"schema":1,"config":CONFIG,
+//    "values":[{"metric":...,"value":...,"units":...,"noise":...}], ...}
+// Unknown keys (e.g. the registry "metrics" snapshot) are ignored.
+// When a file holds several records for the same (bench, config) — an
+// appended accumulation from repeated runs — the last record wins.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apio::bench {
+
+/// One headline value parsed back from a bench JSON line.
+struct ComparedValue {
+  std::string metric;
+  double value = 0.0;
+  std::string units;
+  std::string noise;  ///< "det" or "wall"
+};
+
+/// One bench result record (one JSON line).
+struct BenchRecord {
+  std::string bench;
+  int schema = 0;
+  std::string config;
+  std::vector<ComparedValue> values;
+};
+
+/// Parses a JSONL document into records.  Blank lines are skipped;
+/// lines missing a "bench" key are skipped too (forward compatibility).
+/// Returns false and fills `error` on malformed JSON.
+bool parse_bench_jsonl(const std::string& text, std::vector<BenchRecord>* out,
+                       std::string* error);
+
+/// Collapses records so the last one per (bench, config) wins.
+std::map<std::pair<std::string, std::string>, BenchRecord> merge_records(
+    const std::vector<BenchRecord>& records);
+
+struct CompareOptions {
+  /// Symmetric relative tolerance for "det" (deterministic) values: any
+  /// deviation beyond it fails — a deterministic result that *improved*
+  /// past the tolerance means the committed baseline is stale.
+  double det_tolerance = 0.10;
+  /// One-sided relative tolerance for "wall" (wall-clock) values: only
+  /// a change in the regression direction fails.  The direction is
+  /// inferred from the units — seconds-like units regress upward,
+  /// rate-like units (B/s, ...) regress downward.
+  double wall_tolerance = 0.60;
+};
+
+/// One gate failure, with a human-readable reason.
+struct Violation {
+  std::string bench;
+  std::string config;
+  std::string metric;  ///< empty for record-level violations
+  std::string reason;
+};
+
+struct CompareResult {
+  std::vector<Violation> violations;
+  int compared_values = 0;
+  int compared_records = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Compares current records against baseline records.  Every baseline
+/// (bench, config) must be present in `current` and vice versa, and the
+/// two value lists must name the same metrics — a metric added or
+/// removed without regenerating baselines is a violation by design.
+CompareResult compare_records(const std::vector<BenchRecord>& current,
+                              const std::vector<BenchRecord>& baseline,
+                              const CompareOptions& options);
+
+/// True when a regression in `units` means the value went *up*
+/// (durations); false for rates, where down is worse.
+bool higher_is_worse(const std::string& units);
+
+}  // namespace apio::bench
