@@ -12,7 +12,10 @@
 #   3. clang-tidy preset (skipped with a notice when clang-tidy is not
 #      installed — the GCC-only CI image does not ship it),
 #   4. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
-#      suite plus reduced-iteration stress tests; zero reports allowed).
+#      suite plus reduced-iteration stress tests; zero reports allowed),
+#   5. Address+UB-sanitizer build + the fault-matrix resilience suite:
+#      the retry/degraded-mode paths juggle staged buffers across the
+#      background stream, so they run under asan/ubsan explicitly.
 #
 # Usage: ci/check.sh [--skip-tsan]
 set -euo pipefail
@@ -27,12 +30,12 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/4] default build + full test suite"
+echo "==> [1/5] default build + full test suite"
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "==> [2/4] bench regression gate"
+echo "==> [2/5] bench regression gate"
 BENCH_JSON_DIR="build/bench-json"
 rm -rf "${BENCH_JSON_DIR}"
 mkdir -p "${BENCH_JSON_DIR}"
@@ -45,7 +48,7 @@ build/tools/apio_bench_compare \
   "${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
   --baselines bench/baselines --tol-det 10 --tol-wall 60
 
-echo "==> [3/4] clang-tidy"
+echo "==> [3/5] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "${JOBS}"
@@ -54,12 +57,17 @@ else
 fi
 
 if [[ "${SKIP_TSAN}" -eq 1 ]]; then
-  echo "==> [4/4] ThreadSanitizer suite skipped (--skip-tsan)"
+  echo "==> [4/5] ThreadSanitizer suite skipped (--skip-tsan)"
 else
-  echo "==> [4/4] ThreadSanitizer build + tsan-labelled suite"
+  echo "==> [4/5] ThreadSanitizer build + tsan-labelled suite"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}"
 fi
+
+echo "==> [5/5] asan-ubsan build + fault-matrix resilience suite"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${JOBS}"
+ctest --preset asan-ubsan -j "${JOBS}" -R 'Resilience|FaultInjection'
 
 echo "==> all checks passed"

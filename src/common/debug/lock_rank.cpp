@@ -18,6 +18,7 @@ const char* lock_rank_name(LockRank rank) {
     case LockRank::kPmpiCollective: return "pmpi.collective";
     case LockRank::kPmpiBarrier: return "pmpi.barrier";
     case LockRank::kPmpiMailbox: return "pmpi.mailbox";
+    case LockRank::kResilienceBreaker: return "resilience.breaker";
     case LockRank::kStorageWrapper: return "storage.wrapper";
     case LockRank::kStorageBase: return "storage.base";
     case LockRank::kTaskingPool: return "tasking.pool";

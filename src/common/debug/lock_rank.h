@@ -36,6 +36,9 @@ enum class LockRank : int {
   kPmpiCollective = 34, ///< World collective exchange slots
   kPmpiBarrier = 38,    ///< World sense-reversing barrier
   kPmpiMailbox = 42,    ///< per-rank point-to-point mailbox
+  // -- resilience (breaker consulted by storage wrappers and the vol
+  //    background stream; never held across an inner transfer) --------
+  kResilienceBreaker = 44, ///< CircuitBreaker state
   // -- storage backends (wrappers delegate inward) --------------------
   kStorageWrapper = 46, ///< throttled/faulty interposer state
   kStorageBase = 50,    ///< memory backend byte store

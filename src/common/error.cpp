@@ -2,6 +2,46 @@
 
 #include <sstream>
 
+namespace apio {
+
+std::string error_category(const std::exception_ptr& error) {
+  if (error == nullptr) return "";
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientIoError&) {
+    return "transient-io";
+  } catch (const IoError&) {
+    return "io";
+  } catch (const FormatError&) {
+    return "format";
+  } catch (const NotFoundError&) {
+    return "not-found";
+  } catch (const StateError&) {
+    return "state";
+  } catch (const InvalidArgumentError&) {
+    return "invalid-argument";
+  } catch (const Error&) {
+    return "error";
+  } catch (const std::exception&) {
+    return "std";
+  } catch (...) {
+    return "unknown";
+  }
+}
+
+std::string error_message(const std::exception_ptr& error) {
+  if (error == nullptr) return "";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "<non-standard exception>";
+  }
+}
+
+}  // namespace apio
+
 namespace apio::detail {
 
 void throw_check_failure(const char* expr, const std::string& message,

@@ -38,6 +38,15 @@ class IoError : public Error {
   using Error::Error;
 };
 
+/// Thrown for storage failures that are expected to clear on retry
+/// (congested OST, transient network partition, injected transient
+/// fault).  The resilience layer retries these under policy; a plain
+/// IoError is classified permanent unless the policy opts in.
+class TransientIoError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 /// Thrown when an object lookup fails (missing dataset, group, path).
 class NotFoundError : public Error {
  public:
@@ -49,6 +58,16 @@ class StateError : public Error {
  public:
   using Error::Error;
 };
+
+/// Stable classification token for a caught exception, used for error
+/// identity in request/event-set reporting: "transient-io", "io",
+/// "format", "not-found", "state", "invalid-argument", "error" (other
+/// apio::Error), "std" (other std::exception), or "unknown".
+std::string error_category(const std::exception_ptr& error);
+
+/// what() of the stored exception ("" for a null pointer,
+/// "<non-standard exception>" for non-std::exception throws).
+std::string error_message(const std::exception_ptr& error);
 
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr,

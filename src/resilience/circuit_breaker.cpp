@@ -1,0 +1,100 @@
+#include "resilience/circuit_breaker.h"
+
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace apio::resilience {
+namespace {
+
+obs::Gauge& breaker_state_gauge() {
+  static auto& g = obs::Registry::instance().gauge("io.breaker_state");
+  return g;
+}
+
+obs::Counter& breaker_trips_counter() {
+  static auto& c = obs::Registry::instance().counter("io.breaker_trips");
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "<unknown>";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options, const Clock* clock,
+                               std::string name)
+    : options_(options),
+      clock_(clock != nullptr ? clock : &wall_clock_),
+      name_(std::move(name)) {}
+
+void CircuitBreaker::transition_locked(BreakerState next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (next == BreakerState::kOpen) {
+    ++trips_;
+    opened_at_ = clock_->now();
+    if (obs::enabled()) breaker_trips_counter().increment();
+  }
+  if (obs::enabled()) {
+    breaker_state_gauge().set(static_cast<std::int64_t>(next));
+  }
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->now() - opened_at_ >= options_.open_seconds) {
+        transition_locked(BreakerState::kHalfOpen);
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard lock(mutex_);
+  failures_ = 0;
+  transition_locked(BreakerState::kClosed);
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard lock(mutex_);
+  ++failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    transition_locked(BreakerState::kOpen);
+    return;
+  }
+  if (state_ == BreakerState::kClosed && options_.failure_threshold > 0 &&
+      failures_ >= options_.failure_threshold) {
+    transition_locked(BreakerState::kOpen);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard lock(mutex_);
+  return trips_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard lock(mutex_);
+  return failures_;
+}
+
+}  // namespace apio::resilience

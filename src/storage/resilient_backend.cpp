@@ -1,0 +1,65 @@
+#include "storage/resilient_backend.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace apio::storage {
+namespace {
+
+const Clock& default_clock() {
+  static WallClock clock;
+  return clock;
+}
+
+obs::Counter& layer_retries_counter() {
+  static auto& c = obs::Registry::instance().counter("storage.resilient.retries");
+  return c;
+}
+
+}  // namespace
+
+ResilientBackend::ResilientBackend(BackendPtr inner, ResilienceOptions options,
+                                   const Clock* clock,
+                                   resilience::Sleeper* sleeper)
+    : inner_(std::move(inner)),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : &default_clock()),
+      sleeper_(sleeper != nullptr ? sleeper : &resilience::wall_sleeper()) {
+  APIO_REQUIRE(inner_ != nullptr, "ResilientBackend requires an inner backend");
+  options_.retry.validate();
+  if (options_.enable_breaker) {
+    breaker_ = std::make_unique<resilience::CircuitBreaker>(
+        options_.breaker, clock_, "storage:" + inner_->name());
+  }
+}
+
+template <typename Fn>
+void ResilientBackend::run(Fn&& fn) {
+  const auto outcome = resilience::run_with_retry(
+      options_.retry, *clock_, *sleeper_, breaker_.get(), std::forward<Fn>(fn));
+  if (outcome.attempts > 1) {
+    const auto extra = static_cast<std::uint64_t>(outcome.attempts - 1);
+    retries_.fetch_add(extra, std::memory_order_relaxed);
+    if (obs::enabled()) layer_retries_counter().add(extra);
+  }
+}
+
+void ResilientBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  run([&] { inner_->read(offset, out); });
+  count_read(out.size());
+}
+
+void ResilientBackend::write(std::uint64_t offset,
+                             std::span<const std::byte> data) {
+  run([&] { inner_->write(offset, data); });
+  count_write(data.size());
+}
+
+void ResilientBackend::flush() {
+  run([&] { inner_->flush(); });
+  count_flush();
+}
+
+}  // namespace apio::storage

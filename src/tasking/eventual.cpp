@@ -58,6 +58,11 @@ bool Eventual::has_error() const {
   return done_ && error_ != nullptr;
 }
 
+std::exception_ptr Eventual::error() const {
+  std::lock_guard lock(mutex_);
+  return done_ ? error_ : nullptr;
+}
+
 void Eventual::on_ready(std::function<void()> fn) {
   {
     std::lock_guard lock(mutex_);

@@ -52,6 +52,9 @@ class Eventual : public std::enable_shared_from_this<Eventual> {
   /// True when completed with an error.
   bool has_error() const;
 
+  /// The stored error, or nullptr when pending / completed cleanly.
+  std::exception_ptr error() const;
+
   /// Registers a continuation.  If the eventual is already complete the
   /// callback runs immediately on the calling thread; otherwise it runs
   /// on the completing thread.  Continuations must be cheap and noexcept

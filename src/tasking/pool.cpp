@@ -15,9 +15,15 @@ obs::Gauge& queue_depth_gauge() {
 }  // namespace
 
 void Pool::push(TaskFn task) {
+  if (!try_push(std::move(task))) {
+    throw StateError("Pool::push() on closed pool");
+  }
+}
+
+bool Pool::try_push(TaskFn task) {
   {
     std::lock_guard lock(mutex_);
-    if (closed_) throw StateError("Pool::push() on closed pool");
+    if (closed_) return false;
     tasks_.push_back(std::move(task));
     ++accepted_;
     if (obs::enabled()) {
@@ -27,6 +33,7 @@ void Pool::push(TaskFn task) {
     }
   }
   cv_.notify_one();
+  return true;
 }
 
 std::optional<TaskFn> Pool::pop() {

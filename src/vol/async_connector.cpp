@@ -1,6 +1,7 @@
 #include "vol/async_connector.h"
 
 #include <cstring>
+#include <optional>
 #include <sstream>
 
 #include "common/debug/invariant.h"
@@ -43,14 +44,80 @@ obs::Counter& prefetch_misses_counter() {
   return c;
 }
 
+obs::Counter& retries_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.retries");
+  return c;
+}
+
+obs::Counter& degraded_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.degraded_ops");
+  return c;
+}
+
+obs::Counter& failed_counter() {
+  static auto& c = obs::Registry::instance().counter("vol.async.failed_ops");
+  return c;
+}
+
+obs::Counter& io_degraded_counter() {
+  static auto& c = obs::Registry::instance().counter("io.degraded_ops");
+  return c;
+}
+
+/// Byte offset of the selection's first element within the dataset's
+/// linearized (row-major) extent; 0 for an all-selection.
+std::uint64_t selection_offset_bytes(const h5::Dataset& ds,
+                                     const h5::Selection& selection) {
+  if (selection.is_all()) return 0;
+  const auto pitches = h5::row_pitches(ds.dims());
+  const h5::Dims& start = selection.slab().start;
+  std::uint64_t elems = 0;
+  const std::size_t rank = std::min(start.size(), pitches.size());
+  for (std::size_t i = 0; i < rank; ++i) elems += start[i] * pitches[i];
+  return elems * ds.element_size();
+}
+
+const char* execute_label(obs::IoOp kind) {
+  switch (kind) {
+    case obs::IoOp::kWrite: return "write.execute";
+    case obs::IoOp::kRead: return "read.execute";
+    case obs::IoOp::kPrefetch: return "prefetch.execute";
+    case obs::IoOp::kFlush: return "flush.execute";
+  }
+  return "execute";
+}
+
 }  // namespace
+
+struct AsyncConnector::AsyncOp {
+  obs::IoOp kind = obs::IoOp::kWrite;
+  std::optional<h5::Dataset> ds;
+  h5::Selection selection = h5::Selection::all();
+  /// Write payload when staging in DRAM.
+  std::shared_ptr<std::vector<std::byte>> staged;
+  /// Write payload location when staging on a device.
+  std::uint64_t device_offset = 0;
+  /// Read destination (caller-owned until completion).
+  std::span<std::byte> out;
+  /// Prefetch destination (cache-owned).
+  std::shared_ptr<std::vector<std::byte>> buffer;
+  std::uint64_t bytes = 0;
+
+  tasking::EventualPtr done;
+  RequestInfo info;
+  RequestOutcomePtr outcome;
+  std::unique_ptr<resilience::RetrySession> session;
+  /// Observer record emission; run on final success only.
+  std::function<void()> on_complete;
+};
 
 AsyncConnector::AsyncConnector(h5::FilePtr file, AsyncOptions options,
                                const Clock* clock)
     : file_(std::move(file)),
-      options_(options),
+      options_(std::move(options)),
       clock_(clock != nullptr ? clock : &wall_clock_) {
   APIO_REQUIRE(file_ != nullptr, "AsyncConnector requires an open file");
+  options_.retry.validate();
   const double t0 = clock_->now();
   pool_ = std::make_shared<tasking::Pool>();
   stream_ = std::make_unique<tasking::ExecutionStream>(pool_);
@@ -78,62 +145,147 @@ void AsyncConnector::shutdown_machinery() {
   stats_.term_seconds = clock_->now() - t0;
 }
 
-tasking::EventualPtr AsyncConnector::enqueue_ordered(tasking::TaskFn task) {
+void AsyncConnector::enqueue_op(std::shared_ptr<AsyncOp> op) {
   if (closed_.load()) throw StateError("AsyncConnector used after close()");
   obs::ScopedSpan span("enqueue", obs::Category::kVol);
-  auto done = tasking::Eventual::make();
-  auto body = [task = std::move(task), done]() mutable {
-    try {
-      task();
-      done->set();
-    } catch (...) {
-      done->set_error(std::current_exception());
-    }
-  };
+  op->done = tasking::Eventual::make();
+  op->outcome = std::make_shared<RequestOutcome>();
+  op->session = std::make_unique<resilience::RetrySession>(
+      options_.retry, clock_,
+      options_.sleeper != nullptr ? options_.sleeper
+                                  : &resilience::wall_sleeper(),
+      options_.breaker.get());
 
   std::lock_guard lock(order_mutex_);
   tasking::EventualPtr prev = last_op_;
-  last_op_ = done;
-  // FIFO chain: the new task enters the pool only when its predecessor
-  // has finished.  A predecessor failure does not cancel successors —
-  // the async VOL records errors per operation, it does not poison the
-  // queue.
-  prev->on_ready([pool = pool_, body = std::move(body)]() mutable {
-    pool->push(std::move(body));
+  last_op_ = op->done;
+  // FIFO chain: the new op enters the pool only when its predecessor
+  // reached its final outcome (including any retries).  A predecessor
+  // failure does not cancel successors — the async VOL records errors
+  // per operation, it does not poison the queue.
+  prev->on_ready([this, op = std::move(op)]() mutable {
+    if (!pool_->try_push([this, op] { run_attempt(op); })) {
+      finish_failure(op, std::make_exception_ptr(StateError(
+                             "async operation dropped: connector shut down")));
+    }
   });
-  return done;
 }
 
-void AsyncConnector::note_staged(std::uint64_t bytes) {
-  if (options_.max_staged_bytes > 0) {
-    std::unique_lock lock(staging_mutex_);
-    staging_cv_.wait(lock, [&] {
-      return staged_outstanding_.load() + bytes <= options_.max_staged_bytes ||
-             staged_outstanding_.load() == 0;
-    });
+void AsyncConnector::execute_op(AsyncOp& op) {
+  obs::TimedOp execute_span(
+      execute_label(op.kind), obs::Category::kVol, execute_hist(),
+      op.kind == obs::IoOp::kPrefetch ? nullptr : &executed_bytes_counter(),
+      op.bytes);
+  switch (op.kind) {
+    case obs::IoOp::kWrite:
+      if (options_.staging_backend) {
+        std::vector<std::byte> from_device(op.bytes);
+        options_.staging_backend->read(op.device_offset, from_device);
+        op.ds->write_raw(op.selection, from_device);
+      } else {
+        op.ds->write_raw(op.selection, *op.staged);
+      }
+      break;
+    case obs::IoOp::kRead:
+      op.ds->read_raw(op.selection, op.out);
+      break;
+    case obs::IoOp::kPrefetch:
+      op.ds->read_raw(op.selection, *op.buffer);
+      break;
+    case obs::IoOp::kFlush:
+      file_->flush();
+      break;
   }
-  const std::uint64_t now_staged = staged_outstanding_.fetch_add(bytes) + bytes;
-  if (obs::enabled()) {
-    static auto& gauge = obs::Registry::instance().gauge("vol.async.staged_outstanding");
-    gauge.set(static_cast<std::int64_t>(now_staged));
-    gauge.note_watermark();
-  }
-  std::lock_guard lock(stats_mutex_);
-  stats_.bytes_staged += bytes;
-  stats_.staged_high_watermark = std::max(stats_.staged_high_watermark, now_staged);
 }
 
-void AsyncConnector::note_unstaged(std::uint64_t bytes) {
-  const std::uint64_t before = staged_outstanding_.fetch_sub(bytes);
-  APIO_INVARIANT(before >= bytes, "staging accounting underflow");
+void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
+  APIO_ASSERT_ON_STREAM();
+  try {
+    op->session->check_breaker();
+    execute_op(*op);
+    op->session->note_success();
+    finish_success(op);
+    return;
+  } catch (...) {
+    std::exception_ptr error = std::current_exception();
+    if (op->session->backoff_and_retry(error)) {
+      // Re-enqueue the same op; when the pool closed under us (shutdown
+      // racing a retry) fail the request instead of wedging the drain.
+      if (pool_->try_push([this, op] { run_attempt(op); })) return;
+      error = std::make_exception_ptr(
+          StateError("async retry abandoned: connector shut down"));
+    }
+    // Policy exhausted (or error permanent / deadline overrun).
+    if (op->kind == obs::IoOp::kWrite && options_.sync_fallback) {
+      try {
+        // Degraded mode: replay the staged buffer through the native
+        // synchronous path, outside policy and breaker — the last
+        // resort before reporting data loss.
+        if (options_.staging_backend) {
+          std::vector<std::byte> from_device(op->bytes);
+          options_.staging_backend->read(op->device_offset, from_device);
+          op->ds->write_raw(op->selection, from_device);
+        } else {
+          op->ds->write_raw(op->selection, *op->staged);
+        }
+        op->outcome->degraded = true;
+        finish_success(op);
+        return;
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    finish_failure(op, std::move(error));
+  }
+}
+
+void AsyncConnector::finish_success(const std::shared_ptr<AsyncOp>& op) {
+  // The outcome must be fully written before the eventual completes:
+  // completion is the release point observers synchronize on.
+  op->outcome->attempts = std::max(op->session->attempts(), 1);
+  op->outcome->deadline_exhausted = op->session->deadline_exhausted();
+  const std::uint64_t retries =
+      static_cast<std::uint64_t>(op->outcome->attempts - 1);
+  if (op->kind == obs::IoOp::kWrite) {
+    op->staged.reset();
+    note_unstaged(op->bytes);
+  }
   if (obs::enabled()) {
-    static auto& gauge = obs::Registry::instance().gauge("vol.async.staged_outstanding");
-    gauge.set(static_cast<std::int64_t>(before - bytes));
+    if (retries > 0) retries_counter().add(retries);
+    if (op->outcome->degraded) {
+      degraded_counter().increment();
+      io_degraded_counter().increment();
+    }
   }
-  if (options_.max_staged_bytes > 0) {
-    std::lock_guard lock(staging_mutex_);
-    staging_cv_.notify_all();
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.retries += retries;
+    if (op->outcome->degraded) ++stats_.degraded_ops;
   }
+  if (op->on_complete) op->on_complete();
+  op->done->set();
+}
+
+void AsyncConnector::finish_failure(const std::shared_ptr<AsyncOp>& op,
+                                    std::exception_ptr error) {
+  op->outcome->attempts = std::max(op->session->attempts(), 1);
+  op->outcome->deadline_exhausted = op->session->deadline_exhausted();
+  const std::uint64_t retries =
+      static_cast<std::uint64_t>(op->outcome->attempts - 1);
+  if (op->kind == obs::IoOp::kWrite) {
+    op->staged.reset();
+    note_unstaged(op->bytes);
+  }
+  if (obs::enabled()) {
+    if (retries > 0) retries_counter().add(retries);
+    failed_counter().increment();
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.retries += retries;
+    ++stats_.failed_ops;
+  }
+  op->done->set_error(std::move(error));
 }
 
 RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
@@ -147,70 +299,62 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
   // staging area is either a DRAM buffer or, when configured, a
   // node-local staging device (SSD) region.
   note_staged(data.size());
-  std::shared_ptr<std::vector<std::byte>> staged;
-  std::uint64_t device_offset = 0;
+  auto op = std::make_shared<AsyncOp>();
+  op->kind = obs::IoOp::kWrite;
+  op->ds = ds;
+  op->selection = selection;
+  op->bytes = data.size();
   {
     obs::TimedOp stage_op("stage_copy", obs::Category::kVol, stage_hist(),
                           &staged_bytes_counter(), data.size());
     if (options_.staging_backend) {
-      device_offset = staging_device_offset_.fetch_add(data.size());
-      options_.staging_backend->write(device_offset, data);
+      op->device_offset = staging_device_offset_.fetch_add(data.size());
+      options_.staging_backend->write(op->device_offset, data);
     } else {
-      staged = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+      op->staged =
+          std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
     }
   }
   const double blocking = clock_->now() - t0;
 
-  const int ranks = reported_ranks();
-  // Detail strings are built at issue time (the background stream has
-  // no business touching the container's path index).
-  std::string path;
-  std::string token;
-  const bool emit = has_observers();
-  if (emit && observers_want_detail()) {
-    path = file_->path_of(ds);
-    token = selection_to_token(selection);
+  // Identity is captured at issue time unconditionally — failures must
+  // carry it even when no observer is attached (the background stream
+  // has no business touching the container's path index).
+  op->info.op = obs::IoOp::kWrite;
+  op->info.dataset_path = file_->path_of(ds);
+  op->info.selection = selection_to_token(selection);
+  op->info.offset = selection_offset_bytes(ds, selection);
+  op->info.bytes = data.size();
+
+  if (has_observers()) {
+    op->on_complete = [this, t0, blocking, bytes = data.size(),
+                       ranks = reported_ranks(),
+                       origin_rank = obs::thread_rank(),
+                       path = op->info.dataset_path,
+                       token = op->info.selection] {
+      IoRecord record;
+      record.op = IoOp::kWrite;
+      record.dataset_path = path;
+      record.selection = token;
+      record.bytes = bytes;
+      record.ranks = ranks;
+      record.origin_rank = origin_rank;
+      record.issue_time = t0;
+      record.blocking_seconds = blocking;
+      record.completion_seconds = clock_->now() - t0;
+      record.async = true;
+      observe(record);
+    };
   }
-  auto record_completion = [this, t0, blocking, bytes = data.size(), ranks, emit,
-                            origin_rank = obs::thread_rank(),
-                            path = std::move(path), token = std::move(token)] {
-    if (!emit) return;
-    IoRecord record;
-    record.op = IoOp::kWrite;
-    record.dataset_path = path;
-    record.selection = token;
-    record.bytes = bytes;
-    record.ranks = ranks;
-    record.origin_rank = origin_rank;
-    record.issue_time = t0;
-    record.blocking_seconds = blocking;
-    record.completion_seconds = clock_->now() - t0;
-    record.async = true;
-    observe(record);
-  };
 
-  auto done = enqueue_ordered([this, ds, selection, staged, device_offset,
-                               bytes = data.size(), record_completion]() mutable {
-    APIO_ASSERT_ON_STREAM();
-    obs::TimedOp execute_op("write.execute", obs::Category::kVol, execute_hist(),
-                            &executed_bytes_counter(), bytes);
-    if (options_.staging_backend) {
-      std::vector<std::byte> from_device(bytes);
-      options_.staging_backend->read(device_offset, from_device);
-      ds.write_raw(selection, from_device);
-    } else {
-      ds.write_raw(selection, *staged);
-      staged.reset();
-    }
-    note_unstaged(bytes);
-    record_completion();
-  });
-
+  auto request_info = op->info;
+  enqueue_op(op);
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.writes_enqueued;
   }
-  return std::make_shared<Request>(std::move(done));
+  return std::make_shared<Request>(op->done, std::move(request_info),
+                                   op->outcome);
 }
 
 RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
@@ -261,46 +405,58 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
       std::lock_guard lock(stats_mutex_);
       ++stats_.cache_hits;
     }
-    return std::make_shared<Request>(tasking::Eventual::make_ready());
+    RequestInfo info;
+    info.op = obs::IoOp::kRead;
+    info.dataset_path = file_->path_of(ds);
+    info.selection = selection_to_token(selection);
+    info.offset = selection_offset_bytes(ds, selection);
+    info.bytes = out.size();
+    return std::make_shared<Request>(tasking::Eventual::make_ready(),
+                                     std::move(info));
   }
 
   if (obs::enabled()) prefetch_misses_counter().increment();
-  const int ranks = reported_ranks();
-  std::string path;
-  std::string token;
-  const bool emit = has_observers();
-  if (emit && observers_want_detail()) {
-    path = file_->path_of(ds);
-    token = selection_to_token(selection);
+  auto op = std::make_shared<AsyncOp>();
+  op->kind = obs::IoOp::kRead;
+  op->ds = ds;
+  op->selection = selection;
+  op->out = out;
+  op->bytes = out.size();
+  op->info.op = obs::IoOp::kRead;
+  op->info.dataset_path = file_->path_of(ds);
+  op->info.selection = selection_to_token(selection);
+  op->info.offset = selection_offset_bytes(ds, selection);
+  op->info.bytes = out.size();
+
+  if (has_observers()) {
+    op->on_complete = [this, t0, bytes = out.size(), ranks = reported_ranks(),
+                       origin_rank = obs::thread_rank(),
+                       path = op->info.dataset_path,
+                       token = op->info.selection] {
+      IoRecord record;
+      record.op = IoOp::kRead;
+      record.dataset_path = path;
+      record.selection = token;
+      record.bytes = bytes;
+      record.ranks = ranks;
+      record.origin_rank = origin_rank;
+      record.issue_time = t0;
+      record.blocking_seconds = 0.0;  // caller was not blocked
+      record.completion_seconds = clock_->now() - t0;
+      record.async = true;
+      observe(record);
+    };
   }
-  auto done = enqueue_ordered([this, ds, selection, out, t0, ranks, emit,
-                               origin_rank = obs::thread_rank(),
-                               path = std::move(path),
-                               token = std::move(token)]() mutable {
-    APIO_ASSERT_ON_STREAM();
-    obs::TimedOp execute_op("read.execute", obs::Category::kVol, execute_hist(),
-                            &executed_bytes_counter(), out.size());
-    ds.read_raw(selection, out);
-    if (!emit) return;
-    IoRecord record;
-    record.op = IoOp::kRead;
-    record.dataset_path = std::move(path);
-    record.selection = std::move(token);
-    record.bytes = out.size();
-    record.ranks = ranks;
-    record.origin_rank = origin_rank;
-    record.issue_time = t0;
-    record.blocking_seconds = 0.0;  // caller was not blocked
-    record.completion_seconds = clock_->now() - t0;
-    record.async = true;
-    observe(record);
-  });
+
+  auto request_info = op->info;
+  enqueue_op(op);
   {
     std::lock_guard lock(stats_mutex_);
     ++stats_.reads_enqueued;
     ++stats_.cache_misses;
   }
-  return std::make_shared<Request>(std::move(done));
+  return std::make_shared<Request>(op->done, std::move(request_info),
+                                   op->outcome);
 }
 
 void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
@@ -311,16 +467,23 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
     if (cache_.count(key) > 0) return;  // already in flight
   }
   const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
-  auto buffer = std::make_shared<std::vector<std::byte>>(bytes);
-  auto done = enqueue_ordered([ds, selection, buffer, bytes]() mutable {
-    APIO_ASSERT_ON_STREAM();
-    obs::TimedOp execute_op("prefetch.execute", obs::Category::kVol,
-                            execute_hist(), nullptr, bytes);
-    ds.read_raw(selection, *buffer);
-  });
+  auto op = std::make_shared<AsyncOp>();
+  op->kind = obs::IoOp::kPrefetch;
+  op->ds = ds;
+  op->selection = selection;
+  op->buffer = std::make_shared<std::vector<std::byte>>(bytes);
+  op->bytes = bytes;
+  op->info.op = obs::IoOp::kPrefetch;
+  op->info.dataset_path = file_->path_of(ds);
+  op->info.selection = selection_to_token(selection);
+  op->info.offset = selection_offset_bytes(ds, selection);
+  op->info.bytes = bytes;
+
+  auto buffer = op->buffer;
+  enqueue_op(op);
   {
     std::lock_guard lock(cache_mutex_);
-    cache_.emplace(key, CacheEntry{done, buffer});
+    cache_.emplace(key, CacheEntry{op->done, buffer});
   }
   if (has_observers()) {
     IoRecord record;
@@ -332,8 +495,8 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
     record.blocking_seconds = clock_->now() - t0;
     record.async = true;
     if (observers_want_detail()) {
-      record.dataset_path = file_->path_of(ds);
-      record.selection = selection_to_token(selection);
+      record.dataset_path = op->info.dataset_path;
+      record.selection = op->info.selection;
     }
     observe(record);
   }
@@ -343,24 +506,61 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
 
 RequestPtr AsyncConnector::flush() {
   const double t0 = clock_->now();
-  const bool emit = has_observers();
-  auto done = enqueue_ordered([this, file = file_, t0, emit,
-                               ranks = reported_ranks(),
-                               origin_rank = obs::thread_rank()] {
-    APIO_ASSERT_ON_STREAM();
-    file->flush();
-    if (!emit) return;
-    IoRecord record;
-    record.op = IoOp::kFlush;
-    record.ranks = ranks;
-    record.origin_rank = origin_rank;
-    record.issue_time = t0;
-    record.blocking_seconds = 0.0;  // caller was not blocked
-    record.completion_seconds = clock_->now() - t0;
-    record.async = true;
-    observe(record);
-  });
-  return std::make_shared<Request>(std::move(done));
+  auto op = std::make_shared<AsyncOp>();
+  op->kind = obs::IoOp::kFlush;
+  op->info.op = obs::IoOp::kFlush;
+
+  if (has_observers()) {
+    op->on_complete = [this, t0, ranks = reported_ranks(),
+                       origin_rank = obs::thread_rank()] {
+      IoRecord record;
+      record.op = IoOp::kFlush;
+      record.ranks = ranks;
+      record.origin_rank = origin_rank;
+      record.issue_time = t0;
+      record.blocking_seconds = 0.0;  // caller was not blocked
+      record.completion_seconds = clock_->now() - t0;
+      record.async = true;
+      observe(record);
+    };
+  }
+
+  auto request_info = op->info;
+  enqueue_op(op);
+  return std::make_shared<Request>(op->done, std::move(request_info),
+                                   op->outcome);
+}
+
+void AsyncConnector::note_staged(std::uint64_t bytes) {
+  if (options_.max_staged_bytes > 0) {
+    std::unique_lock lock(staging_mutex_);
+    staging_cv_.wait(lock, [&] {
+      return staged_outstanding_.load() + bytes <= options_.max_staged_bytes ||
+             staged_outstanding_.load() == 0;
+    });
+  }
+  const std::uint64_t now_staged = staged_outstanding_.fetch_add(bytes) + bytes;
+  if (obs::enabled()) {
+    static auto& gauge = obs::Registry::instance().gauge("vol.async.staged_outstanding");
+    gauge.set(static_cast<std::int64_t>(now_staged));
+    gauge.note_watermark();
+  }
+  std::lock_guard lock(stats_mutex_);
+  stats_.bytes_staged += bytes;
+  stats_.staged_high_watermark = std::max(stats_.staged_high_watermark, now_staged);
+}
+
+void AsyncConnector::note_unstaged(std::uint64_t bytes) {
+  const std::uint64_t before = staged_outstanding_.fetch_sub(bytes);
+  APIO_INVARIANT(before >= bytes, "staging accounting underflow");
+  if (obs::enabled()) {
+    static auto& gauge = obs::Registry::instance().gauge("vol.async.staged_outstanding");
+    gauge.set(static_cast<std::int64_t>(before - bytes));
+  }
+  if (options_.max_staged_bytes > 0) {
+    std::lock_guard lock(staging_mutex_);
+    staging_cv_.notify_all();
+  }
 }
 
 void AsyncConnector::wait_all() {

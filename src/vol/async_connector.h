@@ -32,6 +32,7 @@
 
 #include "common/clock.h"
 #include "common/debug/lock_rank.h"
+#include "resilience/retry.h"
 #include "tasking/execution_stream.h"
 #include "vol/connector.h"
 
@@ -49,6 +50,23 @@ struct AsyncOptions {
   /// a node-local SSD" (Sec. II-C).  The region is bump-allocated and
   /// recycled only across connector lifetimes.
   storage::BackendPtr staging_backend;
+  /// Retry policy for background operations: a failed attempt is
+  /// re-enqueued under backoff instead of failing the request outright.
+  /// The default (max_attempts = 1) reproduces pre-resilience behavior.
+  resilience::RetryPolicy retry;
+  /// Degraded mode: when a write's retries are exhausted, replay the
+  /// staged buffer synchronously through the native data path (outside
+  /// policy and breaker) before giving up.  The request then completes
+  /// successfully with Request::degraded() set.
+  bool sync_fallback = false;
+  /// Where retry backoff sleeps go.  Null = blocking wall sleeper;
+  /// tests inject a resilience::ManualClock so nothing wall-sleeps.
+  /// Backoff sleeps run on the background stream and stall the FIFO —
+  /// exactly the semantics of a storage target that is down.
+  resilience::Sleeper* sleeper = nullptr;
+  /// Optional circuit breaker consulted before every attempt; may be
+  /// shared across connectors targeting the same backend.
+  resilience::CircuitBreakerPtr breaker;
 };
 
 /// Counters exposed for tests, benches and the model.
@@ -65,6 +83,13 @@ struct AsyncStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t bytes_staged = 0;
   std::uint64_t staged_high_watermark = 0;
+  /// Re-executed attempts across all operations (excludes the first
+  /// attempt of each).
+  std::uint64_t retries = 0;
+  /// Operations completed only via sync-fallback replay.
+  std::uint64_t degraded_ops = 0;
+  /// Operations that exhausted policy and failed.
+  std::uint64_t failed_ops = 0;
   double init_seconds = 0.0;
   double term_seconds = 0.0;
 };
@@ -103,6 +128,11 @@ class AsyncConnector final : public Connector {
     std::shared_ptr<std::vector<std::byte>> data;
   };
 
+  /// One background operation's full state: payload, identity, retry
+  /// session and completion plumbing.  Heap-shared because the retry
+  /// loop re-enqueues the same operation into the pool.
+  struct AsyncOp;
+
   h5::FilePtr file_;
   AsyncOptions options_;
   WallClock wall_clock_;
@@ -129,8 +159,25 @@ class AsyncConnector final : public Connector {
   /// StateError, not tear a plain bool.
   std::atomic<bool> closed_{false};
 
-  /// Chains `task` behind the connector's FIFO tail; returns its eventual.
-  tasking::EventualPtr enqueue_ordered(tasking::TaskFn task);
+  /// Chains `op` behind the connector's FIFO tail.  The op enters the
+  /// pool when its predecessor reaches its *final* outcome (successors
+  /// wait out a predecessor's retries, preserving FIFO semantics).
+  void enqueue_op(std::shared_ptr<AsyncOp> op);
+
+  /// Executes one attempt on the background stream; on failure consults
+  /// the op's retry session and either re-enqueues, degrades (write
+  /// sync-fallback) or fails the request.
+  void run_attempt(const std::shared_ptr<AsyncOp>& op);
+
+  /// Performs the actual storage transfer for the op's kind.
+  void execute_op(AsyncOp& op);
+
+  /// Final-outcome paths: fill the shared RequestOutcome, release
+  /// staging accounting (writes, exactly once), update stats/counters,
+  /// then complete the eventual.
+  void finish_success(const std::shared_ptr<AsyncOp>& op);
+  void finish_failure(const std::shared_ptr<AsyncOp>& op,
+                      std::exception_ptr error);
 
   /// Drains and joins the background machinery without closing the file.
   void shutdown_machinery();

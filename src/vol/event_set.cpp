@@ -4,6 +4,15 @@
 
 namespace apio::vol {
 
+std::string EventError::to_string() const {
+  std::string line = info.to_string() + ": " + message;
+  line += " [category=" + (category.empty() ? "unknown" : category);
+  line += ", attempts=" + std::to_string(attempts);
+  if (deadline_exhausted) line += ", deadline-exhausted";
+  line += "]";
+  return line;
+}
+
 void EventSet::insert(RequestPtr request) {
   APIO_REQUIRE(request != nullptr, "EventSet::insert(null)");
   std::lock_guard lock(mutex_);
@@ -29,16 +38,26 @@ void EventSet::wait() {
     std::lock_guard lock(mutex_);
     batch.swap(pending_);
   }
-  std::vector<std::exception_ptr> new_errors;
+  std::vector<EventError> new_errors;
+  std::vector<std::exception_ptr> new_raw;
   for (auto& r : batch) {
     try {
       r->wait();
     } catch (...) {
-      new_errors.push_back(std::current_exception());
+      new_raw.push_back(std::current_exception());
+      EventError err;
+      err.info = r->info();
+      err.message = apio::error_message(new_raw.back());
+      err.category = apio::error_category(new_raw.back());
+      err.attempts = r->attempts();
+      err.deadline_exhausted = r->deadline_exhausted();
+      new_errors.push_back(std::move(err));
     }
   }
   std::lock_guard lock(mutex_);
-  errors_.insert(errors_.end(), new_errors.begin(), new_errors.end());
+  errors_.insert(errors_.end(), std::make_move_iterator(new_errors.begin()),
+                 std::make_move_iterator(new_errors.end()));
+  raw_errors_.insert(raw_errors_.end(), new_raw.begin(), new_raw.end());
 }
 
 std::size_t EventSet::num_errors() const {
@@ -46,31 +65,29 @@ std::size_t EventSet::num_errors() const {
   return errors_.size();
 }
 
+std::vector<EventError> EventSet::errors() const {
+  std::lock_guard lock(mutex_);
+  return errors_;
+}
+
 std::vector<std::string> EventSet::error_messages() const {
   std::lock_guard lock(mutex_);
   std::vector<std::string> messages;
   messages.reserve(errors_.size());
-  for (const auto& e : errors_) {
-    try {
-      std::rethrow_exception(e);
-    } catch (const std::exception& ex) {
-      messages.emplace_back(ex.what());
-    } catch (...) {
-      messages.emplace_back("<non-standard exception>");
-    }
-  }
+  for (const auto& e : errors_) messages.push_back(e.to_string());
   return messages;
 }
 
 void EventSet::rethrow_first_error() const {
   std::lock_guard lock(mutex_);
-  if (!errors_.empty()) std::rethrow_exception(errors_.front());
+  if (!raw_errors_.empty()) std::rethrow_exception(raw_errors_.front());
 }
 
 void EventSet::clear() {
   std::lock_guard lock(mutex_);
   pending_.clear();
   errors_.clear();
+  raw_errors_.clear();
 }
 
 }  // namespace apio::vol

@@ -16,6 +16,21 @@
 
 namespace apio::vol {
 
+/// One collected failure: the error plus the failed request's identity,
+/// mirroring H5ESget_err_info's per-op error records.
+struct EventError {
+  RequestInfo info;
+  std::string message;
+  /// Taxonomy name from apio::error_category ("transient-io", "io", ...).
+  std::string category;
+  int attempts = 1;
+  bool deadline_exhausted = false;
+
+  /// "write /tiles/a [0..16) @+0 (16 B): injected write fault
+  ///  [category=io, attempts=3]" style line.
+  std::string to_string() const;
+};
+
 class EventSet {
  public:
   /// Adds a request to the set.  Thread-safe.
@@ -38,7 +53,12 @@ class EventSet {
   /// Number of failed operations observed by past wait() calls.
   std::size_t num_errors() const;
 
-  /// Human-readable messages of the collected failures, oldest first.
+  /// The collected failures with full request identity, oldest first.
+  std::vector<EventError> errors() const;
+
+  /// Human-readable lines of the collected failures, oldest first; each
+  /// contains the failed request's identity, the original error message
+  /// and its category.
   std::vector<std::string> error_messages() const;
 
   /// Rethrows the first collected failure, if any (convenience for
@@ -51,7 +71,8 @@ class EventSet {
  private:
   mutable debug::RankedMutex<debug::LockRank::kVolEventSet> mutex_;
   std::vector<RequestPtr> pending_;
-  std::vector<std::exception_ptr> errors_;
+  std::vector<EventError> errors_;
+  std::vector<std::exception_ptr> raw_errors_;
 };
 
 }  // namespace apio::vol

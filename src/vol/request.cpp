@@ -1,0 +1,13 @@
+#include "vol/request.h"
+
+namespace apio::vol {
+
+std::string RequestInfo::to_string() const {
+  std::string out = obs::to_string(op);
+  if (!dataset_path.empty()) out += " " + dataset_path;
+  if (!selection.empty()) out += " " + selection;
+  out += " @+" + std::to_string(offset) + " (" + std::to_string(bytes) + " B)";
+  return out;
+}
+
+}  // namespace apio::vol

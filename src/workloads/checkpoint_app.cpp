@@ -3,6 +3,7 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "obs/epoch_analyzer.h"
+#include "vol/event_set.h"
 #include "workloads/workload_common.h"
 
 namespace apio::workloads {
@@ -62,7 +63,15 @@ CheckpointRunResult run_checkpoint_app(
     comm.barrier();
   }
 
-  for (auto& req : outstanding) req->wait();
+  // Degraded-mode drain: collect failures through an EventSet (H5ESwait
+  // semantics) instead of letting the first failed request abort the
+  // run — the surviving checkpoints are still valid.
+  vol::EventSet drain;
+  for (auto& req : outstanding) drain.insert(req);
+  drain.wait();
+  result.local_errors = drain.error_messages();
+  result.failed_requests =
+      comm.allreduce_sum(static_cast<std::uint64_t>(drain.num_errors()));
   comm.barrier();
   result.total_seconds = clock.now() - t_start;
 

@@ -26,6 +26,13 @@ struct CheckpointRunResult {
   std::vector<double> checkpoint_io_seconds;  ///< max over ranks per phase
   std::uint64_t bytes_per_checkpoint = 0;     ///< aggregate over ranks
   double total_seconds = 0.0;
+  /// Requests that completed with an error, aggregated over ranks.  A
+  /// resilient run degrades instead of aborting: failures are drained
+  /// through an EventSet, counted here, and described in local_errors.
+  std::uint64_t failed_requests = 0;
+  /// This rank's failure descriptions (identity + message + category);
+  /// NOT collective — empty on ranks that saw no failure.
+  std::vector<std::string> local_errors;
 
   double peak_bandwidth() const;
   double mean_bandwidth() const;

@@ -109,6 +109,16 @@ TEST(PoolTest, PushAfterCloseThrows) {
   EXPECT_THROW(pool.push([] {}), StateError);
 }
 
+TEST(PoolTest, TryPushRejectsAfterCloseInsteadOfThrowing) {
+  Pool pool;
+  EXPECT_TRUE(pool.try_push([] {}));
+  pool.close();
+  EXPECT_FALSE(pool.try_push([] {}));
+  EXPECT_EQ(pool.accepted(), 1u);
+  EXPECT_TRUE(pool.pop().has_value());  // the accepted task still drains
+  EXPECT_FALSE(pool.pop().has_value());
+}
+
 TEST(PoolTest, PopDrainsAfterClose) {
   Pool pool;
   pool.push([] {});

@@ -23,6 +23,11 @@
 //                 shim; new code subscribes with add_observer() so
 //                 multiple observers (model, trace, metrics) compose.
 //                 Only the shim's own definition carries a waiver.
+//   faulty-backend  storage::FaultyBackend is a test-only fault
+//                 injector; wiring it into library code under src/
+//                 (outside its own definition) would ship injected
+//                 failures.  Production resilience goes through
+//                 storage::ResilientBackend / AsyncOptions::retry.
 //
 // Any rule can be waived for one line with a trailing comment:
 //   // apio-lint: allow(<rule>)
@@ -123,6 +128,10 @@ void lint_file(const fs::path& root, const fs::path& file) {
                                path_under(file, root / "src" / "pmpi") ||
                                path_under(file, root / "src" / "vol");
   const bool in_tests = path_under(file, root / "tests");
+  const bool in_src = path_under(file, root / "src");
+  const bool is_faulty_backend_impl =
+      file.filename() == "faulty_backend.h" ||
+      file.filename() == "faulty_backend.cpp";
   const bool is_header = file.extension() == ".h";
 
   std::ifstream in(file);
@@ -164,6 +173,14 @@ void lint_file(const fs::path& root, const fs::path& file) {
       report(file, lineno, "set-observer",
              "set_observer() is a deprecated single-slot shim that clears "
              "the whole chain; subscribe with add_observer()");
+    }
+
+    if (in_src && !is_faulty_backend_impl && has_token(code, "FaultyBackend") &&
+        !waived(raw, "faulty-backend")) {
+      report(file, lineno, "faulty-backend",
+             "FaultyBackend is a test-only fault injector and must not be "
+             "wired into library code; use storage::ResilientBackend or "
+             "AsyncOptions::retry for production resilience");
     }
 
     if (contains(code, ".detach()") && !waived(raw, "no-detach")) {

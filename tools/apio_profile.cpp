@@ -113,8 +113,45 @@ void write_chrome_trace(const std::string& path) {
               obs::Tracer::instance().size(), path.c_str());
 }
 
+/// Resilience summary: how much of the run was spent surviving faults.
+/// Printed only when retries/degradation actually happened, so fault-free
+/// profiles stay unchanged.
+void print_resilience_report(const obs::RegistrySnapshot& snap) {
+  const std::uint64_t retries = snap.counter_total("io.retries");
+  const std::uint64_t degraded = snap.counter_total("io.degraded_ops");
+  const std::uint64_t trips = snap.counter_total("io.breaker_trips");
+  const std::uint64_t deadline = snap.counter_total("io.deadline_exhausted");
+  const std::uint64_t failed = snap.counter_total("vol.async.failed_ops");
+  if (retries + degraded + trips + deadline + failed == 0) return;
+
+  std::printf("resilience:\n");
+  double backoff = 0.0;
+  auto it = snap.histograms.find("io.retry_backoff_seconds");
+  if (it != snap.histograms.end()) backoff = it->second.sum_seconds;
+  std::printf("  retries %llu (backoff %s)\n",
+              static_cast<unsigned long long>(retries),
+              format_seconds(backoff).c_str());
+  if (degraded > 0) {
+    std::printf("  degraded ops %llu (completed via sync fallback)\n",
+                static_cast<unsigned long long>(degraded));
+  }
+  if (failed > 0) {
+    std::printf("  failed ops %llu (policy exhausted)\n",
+                static_cast<unsigned long long>(failed));
+  }
+  if (deadline > 0) {
+    std::printf("  deadline-abandoned retries %llu\n",
+                static_cast<unsigned long long>(deadline));
+  }
+  if (trips > 0) {
+    std::printf("  breaker trips %llu\n", static_cast<unsigned long long>(trips));
+  }
+}
+
 void print_observability_report() {
-  std::fputs(obs::Registry::instance().snapshot().summary().c_str(), stdout);
+  const auto snap = obs::Registry::instance().snapshot();
+  std::fputs(snap.summary().c_str(), stdout);
+  print_resilience_report(snap);
   std::fputs(obs::Tracer::instance().summary().c_str(), stdout);
 }
 
