@@ -43,9 +43,12 @@ APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig3_vpic_write.jsonl" \
   build/bench/fig3_vpic_write >/dev/null
 APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
   build/bench/fig7_overlap >/dev/null
+APIO_BENCH_JSON="${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
+  build/bench/ablation_vectored_io >/dev/null
 build/tools/apio_bench_compare \
   "${BENCH_JSON_DIR}/fig3_vpic_write.jsonl" \
   "${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
+  "${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
   --baselines bench/baselines --tol-det 10 --tol-wall 60
 
 echo "==> [3/5] clang-tidy"

@@ -9,12 +9,30 @@ std::uint64_t dim_or_one(const Dims& dims, std::size_t i) {
   return dims.empty() ? 1 : dims[i];
 }
 
+std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b, const char* what) {
+  std::uint64_t r = 0;
+  APIO_REQUIRE(!__builtin_mul_overflow(a, b, &r), what);
+  return r;
+}
+
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b, const char* what) {
+  std::uint64_t r = 0;
+  APIO_REQUIRE(!__builtin_add_overflow(a, b, &r), what);
+  return r;
+}
+
 }  // namespace
 
 std::uint64_t Hyperslab::npoints() const {
+  // Rank guards first: a block/stride list shorter than count would
+  // index out of bounds below (dim_or_one only handles the empty case).
+  APIO_REQUIRE(block.empty() || block.size() == count.size(),
+               "hyperslab block rank mismatch");
   std::uint64_t n = 1;
   for (std::size_t i = 0; i < count.size(); ++i) {
-    n *= count[i] * dim_or_one(block, i);
+    const std::uint64_t per_dim = checked_mul(count[i], dim_or_one(block, i),
+                                              "hyperslab point count overflows");
+    n = checked_mul(n, per_dim, "hyperslab point count overflows");
   }
   return n;
 }
@@ -57,15 +75,23 @@ void Selection::validate(const Dims& extent) const {
     APIO_REQUIRE(block <= stride || slab_.count[i] <= 1,
                  "hyperslab blocks overlap (block > stride)");
     if (slab_.count[i] == 0) continue;
-    const std::uint64_t last =
-        slab_.start[i] + (slab_.count[i] - 1) * stride + block;
+    // Checked arithmetic: a huge stride/count must report "exceeds
+    // extent", not wrap to a small offset that passes the bound check
+    // and reads/writes the wrong elements.
+    const std::uint64_t span =
+        checked_mul(slab_.count[i] - 1, stride, "hyperslab exceeds dataspace extent");
+    const std::uint64_t last = checked_add(
+        checked_add(slab_.start[i], span, "hyperslab exceeds dataspace extent"),
+        block, "hyperslab exceeds dataspace extent");
     APIO_REQUIRE(last <= extent[i], "hyperslab exceeds dataspace extent");
   }
 }
 
 std::uint64_t num_elements(const Dims& extent) {
   std::uint64_t n = 1;
-  for (std::uint64_t d : extent) n *= d;
+  for (std::uint64_t d : extent) {
+    n = checked_mul(n, d, "dataspace element count overflows");
+  }
   return n;
 }
 

@@ -26,7 +26,10 @@ struct Hyperslab {
   Dims count;
   Dims block;   ///< empty means all-ones
 
-  /// Total number of selected elements.
+  /// Total number of selected elements.  Throws InvalidArgumentError
+  /// when the product overflows uint64 or `block` has a different rank
+  /// than `count` — callers may invoke this before validate(), so it
+  /// must be safe on malformed slabs.
   std::uint64_t npoints() const;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/crc32.h"
 #include "common/error.h"
+#include "h5/io_vector.h"
 #include "storage/posix_backend.h"
 
 namespace apio::h5 {
@@ -83,6 +84,41 @@ void validate_name(const std::string& name) {
                "object names must not contain '/' — use File::ensure_path");
 }
 
+/// Decomposes a selection over a chunked dataset into chunk-local
+/// segments: each row run is split at chunk boundaries of the last
+/// dimension and reported as fn(chunk_coord, local_linear_elem,
+/// seg_elems, buf_elem_off), where buf_elem_off is the segment's
+/// position in the packed transfer buffer.  Every dataset path (scalar,
+/// vectored, filtered) walks selections through this one enumerator.
+void for_each_chunk_segment(
+    const Dims& dims, const Dims& chunk, const Selection& selection,
+    const std::function<void(const Dims&, std::uint64_t, std::uint64_t,
+                             std::uint64_t)>& fn) {
+  const auto cpitch = row_pitches(chunk);
+  const std::size_t last = dims.size() - 1;
+  Dims chunk_coord(chunk.size());
+  Dims local(chunk.size());
+  std::uint64_t buf_elem = 0;
+  for_each_row_run(dims, selection, [&](const Dims& start, std::uint64_t count) {
+    Dims c = start;
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        chunk_coord[i] = c[i] / chunk[i];
+        local[i] = c[i] % chunk[i];
+      }
+      const std::uint64_t seg =
+          std::min<std::uint64_t>(remaining, chunk[last] - local[last]);
+      std::uint64_t local_linear = 0;
+      for (std::size_t i = 0; i < chunk.size(); ++i) local_linear += local[i] * cpitch[i];
+      fn(chunk_coord, local_linear, seg, buf_elem);
+      buf_elem += seg;
+      remaining -= seg;
+      c[last] += seg;
+    }
+  });
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -149,6 +185,10 @@ void Dataset::require_valid() const {
 
 void Dataset::write_raw(const Selection& selection, std::span<const std::byte> data) {
   require_valid();
+  // Validate before sizing: npoints() walks block/stride by count's
+  // rank, so a malformed selection must be rejected before any code
+  // indexes through it.
+  selection.validate(node_->dims);
   const std::size_t elsize = element_size();
   const std::uint64_t n = npoints_of(selection);
   APIO_REQUIRE(data.size() == n * elsize,
@@ -157,81 +197,90 @@ void Dataset::write_raw(const Selection& selection, std::span<const std::byte> d
   if (n == 0) return;
 
   storage::Backend& backend = *file_->backend_;
+  const bool vectored = file_->props_.vectored_io;
   if (node_->layout == Layout::kContiguous) {
-    std::uint64_t buf_off = 0;
-    for_each_run(node_->dims, selection, [&](std::uint64_t elem_off, std::uint64_t count) {
-      backend.write(node_->data_offset + elem_off * elsize,
-                    data.subspan(buf_off, count * elsize));
-      buf_off += count * elsize;
-    });
+    if (vectored) {
+      IoVector iov;
+      std::uint64_t buf_off = 0;
+      for_each_run(node_->dims, selection,
+                   [&](std::uint64_t elem_off, std::uint64_t count) {
+                     iov.add_write(node_->data_offset + elem_off * elsize,
+                                   data.subspan(buf_off, count * elsize));
+                     buf_off += count * elsize;
+                   });
+      iov.write_to(backend);
+    } else {
+      // Scalar fallback: one backend call per run, kept for A/B
+      // comparison against the aggregated path.
+      std::uint64_t buf_off = 0;
+      for_each_run(node_->dims, selection,
+                   [&](std::uint64_t elem_off, std::uint64_t count) {
+                     backend.write(node_->data_offset + elem_off * elsize,  // apio-lint: allow(io-vector)
+                                   data.subspan(buf_off, count * elsize));
+                     buf_off += count * elsize;
+                   });
+    }
     return;
   }
 
   // Chunked layout: split each row run at chunk boundaries of the last
   // dimension and scatter the segments into their chunks.
   const Dims& chunk = node_->chunk_dims;
-  const auto cpitch = row_pitches(chunk);
   const std::uint64_t chunk_bytes = num_elements(chunk) * elsize;
-  const std::size_t last = node_->dims.size() - 1;
-  std::uint64_t buf_off = 0;
-  Dims chunk_coord(chunk.size());
-  Dims local(chunk.size());
 
   if (node_->filter == FilterId::kNone) {
-    for_each_row_run(node_->dims, selection, [&](const Dims& start, std::uint64_t count) {
-      Dims c = start;
-      std::uint64_t remaining = count;
-      while (remaining > 0) {
-        for (std::size_t i = 0; i < chunk.size(); ++i) {
-          chunk_coord[i] = c[i] / chunk[i];
-          local[i] = c[i] % chunk[i];
-        }
-        const std::uint64_t seg =
-            std::min<std::uint64_t>(remaining, chunk[last] - local[last]);
-        std::uint64_t local_linear = 0;
-        for (std::size_t i = 0; i < chunk.size(); ++i) local_linear += local[i] * cpitch[i];
-        const std::uint64_t chunk_off =
-            file_->chunk_offset_for_write(*node_, chunk_coord, chunk_bytes);
-        backend.write(chunk_off + local_linear * elsize,
-                      data.subspan(buf_off, seg * elsize));
-        buf_off += seg * elsize;
-        remaining -= seg;
-        c[last] += seg;
-      }
-    });
+    if (vectored) {
+      // Per-call chunk-offset cache: one meta_mutex_ acquisition per
+      // touched chunk instead of one per segment, then a single
+      // vectored backend call for the whole selection.
+      IoVector iov;
+      std::map<Dims, std::uint64_t> chunk_offs;
+      for_each_chunk_segment(
+          node_->dims, chunk, selection,
+          [&](const Dims& cc, std::uint64_t local_linear, std::uint64_t seg,
+              std::uint64_t buf_elem) {
+            auto it = chunk_offs.find(cc);
+            if (it == chunk_offs.end()) {
+              it = chunk_offs
+                       .emplace(cc, file_->chunk_offset_for_write(*node_, cc, chunk_bytes))
+                       .first;
+            }
+            iov.add_write(it->second + local_linear * elsize,
+                          data.subspan(buf_elem * elsize, seg * elsize));
+          });
+      iov.write_to(backend);
+    } else {
+      for_each_chunk_segment(
+          node_->dims, chunk, selection,
+          [&](const Dims& cc, std::uint64_t local_linear, std::uint64_t seg,
+              std::uint64_t buf_elem) {
+            const std::uint64_t chunk_off =
+                file_->chunk_offset_for_write(*node_, cc, chunk_bytes);
+            backend.write(chunk_off + local_linear * elsize,  // apio-lint: allow(io-vector)
+                          data.subspan(buf_elem * elsize, seg * elsize));
+          });
+    }
     return;
   }
 
   // Filtered layout: whole-chunk read-modify-write.  Each touched chunk
   // is decoded once, patched in memory, then re-encoded and stored.
+  // Encoded chunk sizes vary per write, so these transfers do not
+  // aggregate; filtered datasets stay on the scalar path.
   std::lock_guard<std::mutex> filter_lock(file_->filter_mutex_);
   std::map<Dims, std::vector<std::byte>> touched;
-  for_each_row_run(node_->dims, selection, [&](const Dims& start, std::uint64_t count) {
-    Dims c = start;
-    std::uint64_t remaining = count;
-    while (remaining > 0) {
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
-        chunk_coord[i] = c[i] / chunk[i];
-        local[i] = c[i] % chunk[i];
-      }
-      const std::uint64_t seg =
-          std::min<std::uint64_t>(remaining, chunk[last] - local[last]);
-      std::uint64_t local_linear = 0;
-      for (std::size_t i = 0; i < chunk.size(); ++i) local_linear += local[i] * cpitch[i];
-      auto it = touched.find(chunk_coord);
-      if (it == touched.end()) {
-        it = touched
-                 .emplace(chunk_coord,
-                          file_->read_chunk_decoded(*node_, chunk_coord, chunk_bytes))
-                 .first;
-      }
-      std::memcpy(it->second.data() + local_linear * elsize,
-                  data.data() + buf_off, seg * elsize);
-      buf_off += seg * elsize;
-      remaining -= seg;
-      c[last] += seg;
-    }
-  });
+  for_each_chunk_segment(
+      node_->dims, chunk, selection,
+      [&](const Dims& cc, std::uint64_t local_linear, std::uint64_t seg,
+          std::uint64_t buf_elem) {
+        auto it = touched.find(cc);
+        if (it == touched.end()) {
+          it = touched.emplace(cc, file_->read_chunk_decoded(*node_, cc, chunk_bytes))
+                   .first;
+        }
+        std::memcpy(it->second.data() + local_linear * elsize,
+                    data.data() + buf_elem * elsize, seg * elsize);
+      });
   for (const auto& [coords, raw] : touched) {
     file_->store_chunk_encoded(*node_, coords, raw);
   }
@@ -239,6 +288,9 @@ void Dataset::write_raw(const Selection& selection, std::span<const std::byte> d
 
 void Dataset::read_raw(const Selection& selection, std::span<std::byte> out) const {
   require_valid();
+  // Same ordering as write_raw: reject malformed selections before
+  // npoints() indexes through them.
+  selection.validate(node_->dims);
   const std::size_t elsize = element_size();
   const std::uint64_t n = npoints_of(selection);
   APIO_REQUIRE(out.size() == n * elsize,
@@ -247,63 +299,92 @@ void Dataset::read_raw(const Selection& selection, std::span<std::byte> out) con
   if (n == 0) return;
 
   storage::Backend& backend = *file_->backend_;
+  const bool vectored = file_->props_.vectored_io;
   if (node_->layout == Layout::kContiguous) {
-    std::uint64_t buf_off = 0;
-    for_each_run(node_->dims, selection, [&](std::uint64_t elem_off, std::uint64_t count) {
-      backend.read(node_->data_offset + elem_off * elsize,
-                   out.subspan(buf_off, count * elsize));
-      buf_off += count * elsize;
-    });
+    if (vectored) {
+      IoVector iov;
+      std::uint64_t buf_off = 0;
+      for_each_run(node_->dims, selection,
+                   [&](std::uint64_t elem_off, std::uint64_t count) {
+                     iov.add_read(node_->data_offset + elem_off * elsize,
+                                  out.subspan(buf_off, count * elsize));
+                     buf_off += count * elsize;
+                   });
+      iov.read_from(backend);
+    } else {
+      std::uint64_t buf_off = 0;
+      for_each_run(node_->dims, selection,
+                   [&](std::uint64_t elem_off, std::uint64_t count) {
+                     backend.read(node_->data_offset + elem_off * elsize,  // apio-lint: allow(io-vector)
+                                  out.subspan(buf_off, count * elsize));
+                     buf_off += count * elsize;
+                   });
+    }
     return;
   }
 
   const Dims& chunk = node_->chunk_dims;
-  const auto cpitch = row_pitches(chunk);
   const std::uint64_t chunk_bytes = num_elements(chunk) * elsize;
-  const std::size_t last = node_->dims.size() - 1;
-  std::uint64_t buf_off = 0;
-  Dims chunk_coord(chunk.size());
-  Dims local(chunk.size());
-
   const bool filtered = node_->filter != FilterId::kNone;
-  std::unique_lock<std::mutex> filter_lock;
-  if (filtered) filter_lock = std::unique_lock<std::mutex>(file_->filter_mutex_);
-  std::map<Dims, std::vector<std::byte>> decoded;  // filtered-path cache
 
-  for_each_row_run(node_->dims, selection, [&](const Dims& start, std::uint64_t count) {
-    Dims c = start;
-    std::uint64_t remaining = count;
-    while (remaining > 0) {
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
-        chunk_coord[i] = c[i] / chunk[i];
-        local[i] = c[i] % chunk[i];
-      }
-      const std::uint64_t seg = std::min<std::uint64_t>(remaining, chunk[last] - local[last]);
-      std::uint64_t local_linear = 0;
-      for (std::size_t i = 0; i < chunk.size(); ++i) local_linear += local[i] * cpitch[i];
-      auto dst = out.subspan(buf_off, seg * elsize);
-      if (filtered) {
-        auto it = decoded.find(chunk_coord);
-        if (it == decoded.end()) {
-          it = decoded
-                   .emplace(chunk_coord,
-                            file_->read_chunk_decoded(*node_, chunk_coord, chunk_bytes))
-                   .first;
-        }
-        std::memcpy(dst.data(), it->second.data() + local_linear * elsize, dst.size());
-      } else {
+  if (filtered) {
+    // Filtered layout: whole-chunk decode with a per-call cache.
+    std::unique_lock<std::mutex> filter_lock(file_->filter_mutex_);
+    std::map<Dims, std::vector<std::byte>> decoded;
+    for_each_chunk_segment(
+        node_->dims, chunk, selection,
+        [&](const Dims& cc, std::uint64_t local_linear, std::uint64_t seg,
+            std::uint64_t buf_elem) {
+          auto it = decoded.find(cc);
+          if (it == decoded.end()) {
+            it = decoded.emplace(cc, file_->read_chunk_decoded(*node_, cc, chunk_bytes))
+                     .first;
+          }
+          std::memcpy(out.data() + buf_elem * elsize,
+                      it->second.data() + local_linear * elsize, seg * elsize);
+        });
+    return;
+  }
+
+  if (vectored) {
+    // Unwritten chunks are zero-filled immediately; written chunks
+    // accumulate into one vectored read.  The cache holds {exists,
+    // offset} so each chunk's metadata is looked up once per call.
+    IoVector iov;
+    std::map<Dims, std::pair<bool, std::uint64_t>> chunk_offs;
+    for_each_chunk_segment(
+        node_->dims, chunk, selection,
+        [&](const Dims& cc, std::uint64_t local_linear, std::uint64_t seg,
+            std::uint64_t buf_elem) {
+          auto it = chunk_offs.find(cc);
+          if (it == chunk_offs.end()) {
+            std::uint64_t off = 0;
+            const bool present = file_->chunk_offset_for_read(*node_, cc, off);
+            it = chunk_offs.emplace(cc, std::make_pair(present, off)).first;
+          }
+          auto dst = out.subspan(buf_elem * elsize, seg * elsize);
+          if (it->second.first) {
+            iov.add_read(it->second.second + local_linear * elsize, dst);
+          } else {
+            std::memset(dst.data(), 0, dst.size());  // fill value
+          }
+        });
+    iov.read_from(backend);
+    return;
+  }
+
+  for_each_chunk_segment(
+      node_->dims, chunk, selection,
+      [&](const Dims& cc, std::uint64_t local_linear, std::uint64_t seg,
+          std::uint64_t buf_elem) {
+        auto dst = out.subspan(buf_elem * elsize, seg * elsize);
         std::uint64_t chunk_off = 0;
-        if (file_->chunk_offset_for_read(*node_, chunk_coord, chunk_off)) {
-          backend.read(chunk_off + local_linear * elsize, dst);
+        if (file_->chunk_offset_for_read(*node_, cc, chunk_off)) {
+          backend.read(chunk_off + local_linear * elsize, dst);  // apio-lint: allow(io-vector)
         } else {
           std::memset(dst.data(), 0, dst.size());  // fill value
         }
-      }
-      buf_off += seg * elsize;
-      remaining -= seg;
-      c[last] += seg;
-    }
-  });
+      });
 }
 
 void Dataset::set_extent(const Dims& new_dims) {
@@ -312,6 +393,20 @@ void Dataset::set_extent(const Dims& new_dims) {
                "set_extent requires a chunked dataset");
   APIO_REQUIRE(new_dims.size() == node_->dims.size(), "set_extent rank mismatch");
   std::lock_guard<std::mutex> lock(file_->meta_mutex_);
+  // Drop chunks lying entirely beyond the new extent: a shrink followed
+  // by a regrow must read zero fill there, not resurrect stale data.
+  // The chunk's file extent becomes dead space (reclaimed by repack),
+  // matching how unlink treats raw data.
+  for (auto it = node_->chunks.begin(); it != node_->chunks.end();) {
+    bool outside = false;
+    for (std::size_t i = 0; i < new_dims.size(); ++i) {
+      if (it->first[i] * node_->chunk_dims[i] >= new_dims[i]) {
+        outside = true;
+        break;
+      }
+    }
+    it = outside ? node_->chunks.erase(it) : std::next(it);
+  }
   node_->dims = new_dims;
 }
 

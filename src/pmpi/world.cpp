@@ -169,6 +169,7 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
 
 bool Communicator::iprobe(int source, int tag) const {
   APIO_REQUIRE(source >= 0 && source < size(), "iprobe source out of range");
+  APIO_ASSERT_ON_RANK(world_, rank_);
   auto& box = *world_->mailboxes_[rank_];
   std::lock_guard lock(box.mutex);
   auto it = box.queues.find({source, tag});

@@ -90,6 +90,11 @@ class Communicator {
     bcast_bytes(std::as_writable_bytes(buffer), root);
   }
 
+  /// All-gathers a variable-length byte buffer per rank; result is
+  /// indexed by rank.  Collective-aggregation layers (two-phase I/O)
+  /// use this directly to exchange extent lists.
+  std::vector<std::vector<std::byte>> allgather_bytes(std::span<const std::byte> mine);
+
   /// All-gathers one value per rank; result is indexed by rank.
   template <typename T>
   std::vector<T> allgather(const T& value) {
@@ -188,8 +193,6 @@ class Communicator {
   Communicator(World* world, int rank) : world_(world), rank_(rank) {}
   Communicator(std::shared_ptr<World> owned, int rank)
       : world_(owned.get()), rank_(rank), owned_world_(std::move(owned)) {}
-
-  std::vector<std::vector<std::byte>> allgather_bytes(std::span<const std::byte> mine);
 
   /// Reserved tag space for internal collectives; user tags >= 0 never
   /// collide with these.

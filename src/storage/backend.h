@@ -21,6 +21,18 @@ struct BackendStats {
   std::uint64_t flushes = 0;
 };
 
+/// One extent of a gather-write: `data` lands at byte `offset`.
+struct WriteExtent {
+  std::uint64_t offset = 0;
+  std::span<const std::byte> data;
+};
+
+/// One extent of a scatter-read: `out` is filled from byte `offset`.
+struct ReadExtent {
+  std::uint64_t offset = 0;
+  std::span<std::byte> out;
+};
+
 /// Abstract flat address space with positional read/write.
 ///
 /// Thread-safety: write()/read() on disjoint ranges may be issued
@@ -40,6 +52,23 @@ class Backend {
 
   /// Writes data at `offset`, growing the object as needed.
   virtual void write(std::uint64_t offset, std::span<const std::byte> data) = 0;
+
+  /// Vectored write: the extents must be sorted by offset and pairwise
+  /// non-overlapping (h5::IoVector produces exactly this shape).  Leaf
+  /// backends override with one batched transfer (pwritev, single-lock
+  /// memcpy loop) counted as a single operation; the default — which
+  /// decorators inherit — falls back to one write() per extent so
+  /// per-extent metrics, throttling, fault injection and retries keep
+  /// their scalar-path semantics.
+  virtual void write_v(std::span<const WriteExtent> extents) {
+    for (const auto& e : extents) write(e.offset, e.data);
+  }
+
+  /// Vectored read, same extent contract as write_v.  Every extent must
+  /// lie inside the object (throws IoError otherwise).
+  virtual void read_v(std::span<const ReadExtent> extents) {
+    for (const auto& e : extents) read(e.offset, e.out);
+  }
 
   /// Persists buffered data (no-op for memory backends).
   virtual void flush() = 0;

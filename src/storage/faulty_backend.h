@@ -63,6 +63,10 @@ class FaultyBackend final : public Backend {
   std::uint64_t size() const override { return inner_->size(); }
   void read(std::uint64_t offset, std::span<std::byte> out) override;
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  // write_v/read_v deliberately inherit the base per-extent fallback:
+  // each extent passes through maybe_fault() individually, so countdown
+  // and every-N plans can fail an aggregated transfer partway through
+  // (prefix written, suffix rejected) just like a real mid-batch fault.
   void flush() override;
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override { return "faulty(" + inner_->name() + ")"; }

@@ -40,6 +40,47 @@ void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data)
   count_write(data.size());
 }
 
+void MemoryBackend::write_v(std::span<const WriteExtent> extents) {
+  if (extents.empty()) return;
+  std::uint64_t total = 0;
+  std::uint64_t max_end = 0;
+  for (const auto& e : extents) {
+    APIO_INVARIANT(e.offset + e.data.size() >= e.offset,
+                   "write range overflows offset space");
+    total += e.data.size();
+    max_end = std::max(max_end, e.offset + e.data.size());
+  }
+  obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
+                  &storage_bytes_written(), total);
+  std::lock_guard lock(mutex_);
+  if (max_end > data_.size()) data_.resize(max_end);
+  for (const auto& e : extents) {
+    std::memcpy(data_.data() + e.offset, e.data.data(), e.data.size());
+  }
+  count_write(total);
+}
+
+void MemoryBackend::read_v(std::span<const ReadExtent> extents) {
+  if (extents.empty()) return;
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.out.size();
+  obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
+                  &storage_bytes_read(), total);
+  std::lock_guard lock(mutex_);
+  for (const auto& e : extents) {
+    APIO_INVARIANT(e.offset + e.out.size() >= e.offset,
+                   "read range overflows offset space");
+    if (e.offset + e.out.size() > data_.size()) {
+      throw IoError("memory backend: read past end of object (offset " +
+                    std::to_string(e.offset) + " + " +
+                    std::to_string(e.out.size()) + " > " +
+                    std::to_string(data_.size()) + ")");
+    }
+    std::memcpy(e.out.data(), data_.data() + e.offset, e.out.size());
+  }
+  count_read(total);
+}
+
 void MemoryBackend::flush() { count_flush(); }
 
 void MemoryBackend::truncate(std::uint64_t new_size) {

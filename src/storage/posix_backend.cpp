@@ -1,11 +1,14 @@
 #include "storage/posix_backend.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "common/debug/invariant.h"
 #include "common/error.h"
@@ -20,9 +23,40 @@ namespace {
   throw IoError(what + " '" + path + "': " + std::strerror(errno));
 }
 
+constexpr std::size_t default_iov_limit() {
+#ifdef IOV_MAX
+  return IOV_MAX;
+#else
+  return 1024;
+#endif
+}
+
 }  // namespace
 
-PosixBackend::PosixBackend(const std::string& path, Mode mode) : path_(path) {
+namespace detail {
+
+void write_fully(const PwriteFn& op, std::uint64_t offset,
+                 std::span<const std::byte> data, const std::string& path) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const long n = op(data.data() + done, data.size() - done, offset + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite failed for", path);
+    }
+    if (n == 0) {
+      // No progress and no errno: looping would spin forever.  Treat it
+      // as an error, exactly like the read path treats a short read.
+      throw IoError("posix backend: zero-progress write to '" + path + "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace detail
+
+PosixBackend::PosixBackend(const std::string& path, Mode mode)
+    : path_(path), iov_limit_(default_iov_limit()) {
   int flags = O_RDWR;
   switch (mode) {
     case Mode::kCreateTruncate: flags |= O_CREAT | O_TRUNC; break;
@@ -35,6 +69,11 @@ PosixBackend::PosixBackend(const std::string& path, Mode mode) : path_(path) {
 
 PosixBackend::~PosixBackend() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void PosixBackend::set_iov_batch_limit(std::size_t limit) {
+  APIO_REQUIRE(limit >= 1, "iovec batch limit must be >= 1");
+  iov_limit_ = limit;
 }
 
 std::uint64_t PosixBackend::size() const {
@@ -67,17 +106,111 @@ void PosixBackend::write(std::uint64_t offset, std::span<const std::byte> data) 
   APIO_INVARIANT(offset + data.size() >= offset, "write range overflows offset space");
   obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
                   &storage_bytes_written(), data.size());
-  std::size_t done = 0;
-  while (done < data.size()) {
-    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
-                               static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("pwrite failed for", path_);
-    }
-    done += static_cast<std::size_t>(n);
-  }
+  detail::write_fully(
+      [this](const std::byte* buf, std::size_t len, std::uint64_t off) {
+        return static_cast<long>(::pwrite(fd_, buf, len, static_cast<off_t>(off)));
+      },
+      offset, data, path_);
   count_write(data.size());
+}
+
+void PosixBackend::write_v(std::span<const WriteExtent> extents) {
+  if (extents.empty()) return;
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.data.size();
+  obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
+                  &storage_bytes_written(), total);
+
+  // Group file-contiguous extents into one pwritev each (a gather from
+  // many memory spans into one contiguous file run), splitting batches
+  // at the iovec limit.  Partial writes advance through the batch.
+  std::vector<struct iovec> iov;
+  std::size_t i = 0;
+  while (i < extents.size()) {
+    std::uint64_t start = extents[i].offset;
+    std::uint64_t end = start;
+    iov.clear();
+    while (i < extents.size() && iov.size() < iov_limit_ &&
+           extents[i].offset == end) {
+      iov.push_back({const_cast<std::byte*>(extents[i].data.data()),
+                     extents[i].data.size()});
+      end += extents[i].data.size();
+      ++i;
+    }
+    std::size_t idx = 0;
+    std::uint64_t offset = start;
+    while (idx < iov.size()) {
+      const ssize_t n = ::pwritev(fd_, iov.data() + idx,
+                                  static_cast<int>(iov.size() - idx),
+                                  static_cast<off_t>(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pwritev failed for", path_);
+      }
+      if (n == 0) {
+        throw IoError("posix backend: zero-progress vectored write to '" +
+                      path_ + "'");
+      }
+      offset += static_cast<std::uint64_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (idx < iov.size() && left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      }
+      if (idx < iov.size() && left > 0) {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+        iov[idx].iov_len -= left;
+      }
+    }
+  }
+  count_write(total);
+}
+
+void PosixBackend::read_v(std::span<const ReadExtent> extents) {
+  if (extents.empty()) return;
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.out.size();
+  obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
+                  &storage_bytes_read(), total);
+
+  std::vector<struct iovec> iov;
+  std::size_t i = 0;
+  while (i < extents.size()) {
+    std::uint64_t start = extents[i].offset;
+    std::uint64_t end = start;
+    iov.clear();
+    while (i < extents.size() && iov.size() < iov_limit_ &&
+           extents[i].offset == end) {
+      iov.push_back({extents[i].out.data(), extents[i].out.size()});
+      end += extents[i].out.size();
+      ++i;
+    }
+    std::size_t idx = 0;
+    std::uint64_t offset = start;
+    while (idx < iov.size()) {
+      const ssize_t n = ::preadv(fd_, iov.data() + idx,
+                                 static_cast<int>(iov.size() - idx),
+                                 static_cast<off_t>(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("preadv failed for", path_);
+      }
+      if (n == 0) {
+        throw IoError("posix backend: read past end of file '" + path_ + "'");
+      }
+      offset += static_cast<std::uint64_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (idx < iov.size() && left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      }
+      if (idx < iov.size() && left > 0) {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+        iov[idx].iov_len -= left;
+      }
+    }
+  }
+  count_read(total);
 }
 
 void PosixBackend::flush() {

@@ -1,13 +1,34 @@
 // POSIX file backend using positional pread/pwrite, the same primitive
 // layer HDF5's sec2 driver uses underneath a parallel file system.
+// Vectored transfers go through preadv/pwritev so a whole aggregated
+// selection costs one syscall per contiguous file run.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <functional>
 #include <string>
 
 #include "storage/backend.h"
 
 namespace apio::storage {
+
+namespace detail {
+
+/// A positional-write primitive with pwrite's signature, injectable for
+/// tests.  Returns bytes written, or -1 with errno set.
+using PwriteFn =
+    std::function<long(const std::byte* buf, std::size_t len, std::uint64_t offset)>;
+
+/// Loops `op` until `data` is fully written at `offset`.  EINTR is
+/// retried; a negative return throws IoError with `path` in the
+/// message.  A return of 0 with bytes remaining is also an error — the
+/// write made no progress and looping again would spin forever
+/// (regression: the old loop treated 0 as retryable and hung).
+void write_fully(const PwriteFn& op, std::uint64_t offset,
+                 std::span<const std::byte> data, const std::string& path);
+
+}  // namespace detail
 
 /// File-backed flat object.  pread/pwrite are thread-safe at the kernel
 /// level, so concurrent disjoint-range access needs no user-space lock.
@@ -24,15 +45,24 @@ class PosixBackend final : public Backend {
   std::uint64_t size() const override;
   void read(std::uint64_t offset, std::span<std::byte> out) override;
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  void write_v(std::span<const WriteExtent> extents) override;
+  void read_v(std::span<const ReadExtent> extents) override;
   void flush() override;
   void truncate(std::uint64_t new_size) override;
   std::string name() const override { return "posix:" + path_; }
 
   const std::string& path() const { return path_; }
 
+  /// Caps the iovec count of one preadv/pwritev call.  Defaults to the
+  /// platform IOV_MAX; tests lower it to exercise the splitting path
+  /// without building million-extent vectors.
+  void set_iov_batch_limit(std::size_t limit);
+  std::size_t iov_batch_limit() const { return iov_limit_; }
+
  private:
   std::string path_;
   int fd_ = -1;
+  std::size_t iov_limit_;
 };
 
 }  // namespace apio::storage

@@ -41,6 +41,9 @@ class ResilientBackend final : public Backend {
   std::uint64_t size() const override { return inner_->size(); }
   void read(std::uint64_t offset, std::span<std::byte> out) override;
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  // write_v/read_v deliberately inherit the base per-extent fallback so
+  // each extent is retried under the policy independently — a transient
+  // fault mid-batch re-runs only the failed extent, not the whole list.
   void flush() override;
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override {

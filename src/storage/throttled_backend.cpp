@@ -67,6 +67,22 @@ void ThrottledBackend::write(std::uint64_t offset, std::span<const std::byte> da
   count_write(data.size());
 }
 
+void ThrottledBackend::write_v(std::span<const WriteExtent> extents) {
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.data.size();
+  throttle(total);
+  inner_->write_v(extents);
+  count_write(total);
+}
+
+void ThrottledBackend::read_v(std::span<const ReadExtent> extents) {
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.out.size();
+  throttle(total);
+  inner_->read_v(extents);
+  count_read(total);
+}
+
 void ThrottledBackend::flush() {
   inner_->flush();
   count_flush();

@@ -33,6 +33,12 @@ class ThrottledBackend final : public Backend {
   std::uint64_t size() const override { return inner_->size(); }
   void read(std::uint64_t offset, std::span<std::byte> out) override;
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  /// A vectored call is one aggregated request on the modelled PFS: the
+  /// budget is charged once (latency + total/bandwidth) rather than
+  /// per-extent, which is exactly the cost reduction aggregation buys
+  /// on a latency-bound file system.
+  void write_v(std::span<const WriteExtent> extents) override;
+  void read_v(std::span<const ReadExtent> extents) override;
   void flush() override;
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override { return "throttled(" + inner_->name() + ")"; }

@@ -183,6 +183,70 @@ TEST(SelectionValidationTest, ZeroStrideThrows) {
 }
 
 // ---------------------------------------------------------------------------
+// Overflow regressions: the bounds arithmetic used to be unchecked
+// uint64, so start + (count-1)*stride + block could wrap past 2^64 and
+// land back inside the extent, passing validation for a selection that
+// is wildly out of bounds.
+
+TEST(SelectionValidationTest, StrideOverflowAtWrapBoundaryThrows) {
+  // (count-1)*stride = 2 * 2^63 wraps to 0; last element appeared to be
+  // start + block - 1 = 50, inside the {100} extent.
+  Hyperslab slab;
+  slab.start = {50};
+  slab.stride = {1ull << 63};
+  slab.count = {3};
+  EXPECT_THROW(Selection::hyperslab(slab).validate({100}), InvalidArgumentError);
+}
+
+TEST(SelectionValidationTest, StartPlusSpanOverflowThrows) {
+  // start + span wraps: start near 2^64, modest strided span.
+  Hyperslab slab;
+  slab.start = {~0ull - 10};
+  slab.stride = {8};
+  slab.count = {4};
+  EXPECT_THROW(Selection::hyperslab(slab).validate({100}), InvalidArgumentError);
+}
+
+TEST(SelectionValidationTest, BlockAdditionOverflowThrows) {
+  Hyperslab slab;
+  slab.start = {1};
+  slab.stride = {1};
+  slab.count = {1};
+  slab.block = {~0ull};
+  EXPECT_THROW(Selection::hyperslab(slab).validate({100}), InvalidArgumentError);
+}
+
+TEST(HyperslabNpointsTest, ProductOverflowThrows) {
+  // 2^32 * 2^32 = 2^64 wraps to 0 in unchecked arithmetic.
+  Hyperslab slab;
+  slab.start = {0, 0};
+  slab.count = {1ull << 32, 1ull << 32};
+  EXPECT_THROW(slab.npoints(), InvalidArgumentError);
+}
+
+TEST(HyperslabNpointsTest, BlockProductOverflowThrows) {
+  Hyperslab slab;
+  slab.start = {0};
+  slab.count = {1ull << 32};
+  slab.block = {1ull << 32};
+  EXPECT_THROW(slab.npoints(), InvalidArgumentError);
+}
+
+TEST(HyperslabNpointsTest, BlockRankMismatchThrows) {
+  // npoints() may legitimately run before validate(); a short block
+  // vector used to read block[1] out of bounds here.
+  Hyperslab slab;
+  slab.start = {0, 0};
+  slab.count = {2, 2};
+  slab.block = {2};
+  EXPECT_THROW(slab.npoints(), InvalidArgumentError);
+}
+
+TEST(DimsTest, NumElementsOverflowThrows) {
+  EXPECT_THROW(num_elements({1ull << 32, 1ull << 32}), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
 // for_each_row_run
 
 TEST(RowRunTest, AllSelectionEmitsPerRowRuns) {

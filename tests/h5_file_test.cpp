@@ -334,6 +334,56 @@ TEST(ChunkedTest, SetExtentGrowsDataset) {
   EXPECT_EQ(all, (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6, 7, 8}));
 }
 
+TEST(ChunkedTest, SetExtentShrinkDropsOutsideChunksOnRegrow) {
+  // Regression: shrinking used to keep chunks that fell entirely
+  // outside the new extent, so regrowing exposed stale data where the
+  // format promises zero fill for never-written (dead) regions.
+  auto file = make_file();
+  auto ds = file->root().create_dataset(
+      "d", Datatype::kInt32, {8}, DatasetCreateProps::chunked({4}));
+  const std::vector<std::int32_t> values{1, 2, 3, 4, 5, 6, 7, 8};
+  ds.write<std::int32_t>(Selection::all(), values);
+
+  ds.set_extent({4});  // chunk [4,8) now fully outside: dropped
+  ds.set_extent({8});  // regrow over dead space
+  auto all = ds.read_vector<std::int32_t>(Selection::all());
+  EXPECT_EQ(all, (std::vector<std::int32_t>{1, 2, 3, 4, 0, 0, 0, 0}));
+}
+
+TEST(ChunkedTest, SetExtentShrinkKeepsPartiallyCoveredChunks) {
+  // A chunk still intersecting the new extent survives the shrink; the
+  // part beyond the extent is clipped on read but reappears on regrow
+  // (matching HDF5, which only discards whole chunks).
+  auto file = make_file();
+  auto ds = file->root().create_dataset(
+      "d", Datatype::kInt32, {8}, DatasetCreateProps::chunked({4}));
+  const std::vector<std::int32_t> values{1, 2, 3, 4, 5, 6, 7, 8};
+  ds.write<std::int32_t>(Selection::all(), values);
+
+  ds.set_extent({6});  // chunk [4,8) partially inside: kept
+  EXPECT_EQ(ds.read_vector<std::int32_t>(Selection::all()),
+            (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6}));
+  ds.set_extent({8});
+  EXPECT_EQ(ds.read_vector<std::int32_t>(Selection::all()), values);
+}
+
+TEST(ChunkedTest, SetExtentShrink2DDropsOnlyFullyOutsideChunks) {
+  auto file = make_file();
+  auto ds = file->root().create_dataset(
+      "d", Datatype::kInt32, {4, 4}, DatasetCreateProps::chunked({2, 2}));
+  std::vector<std::int32_t> values(16);
+  std::iota(values.begin(), values.end(), 1);
+  ds.write<std::int32_t>(Selection::all(), values);
+
+  // Shrink to {2,4}: the two bottom chunks (rows 2-3) are fully
+  // outside and must be dropped; top chunks survive intact.
+  ds.set_extent({2, 4});
+  ds.set_extent({4, 4});
+  auto all = ds.read_vector<std::int32_t>(Selection::all());
+  EXPECT_EQ(all, (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6, 7, 8,  //
+                                            0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
 TEST(ChunkedTest, PersistsAcrossReopen) {
   auto backend = std::make_shared<storage::MemoryBackend>();
   {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "common/debug/thread_role.h"
 #include "common/error.h"
 #include "pmpi/world.h"
 
@@ -316,6 +317,23 @@ TEST(PmpiTest, CollectivesComposeAcrossManyRounds) {
     for (auto v : all) EXPECT_EQ(v, acc);
   });
 }
+
+#if defined(APIO_DEBUG_CHECKS) && !defined(__SANITIZE_THREAD__)
+TEST(PmpiDeathTest, IprobeFromWrongRankThreadAborts) {
+  // Regression: iprobe was the one Communicator operation missing the
+  // thread-role assertion, so a rank-1 thread could silently probe
+  // rank 0's mailbox.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  World world(2);
+  auto c0 = world.comm(0);
+  EXPECT_DEATH(
+      {
+        debug::ScopedThreadRole role(debug::ThreadRole::kPmpiRank, 1, &world);
+        (void)c0.iprobe(1, 7);
+      },
+      "thread-role violation");
+}
+#endif
 
 }  // namespace
 }  // namespace apio::pmpi

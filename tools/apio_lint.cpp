@@ -28,6 +28,14 @@
 //                 (outside its own definition) would ship injected
 //                 failures.  Production resilience goes through
 //                 storage::ResilientBackend / AsyncOptions::retry.
+//   io-vector     dataset transfer paths in src/h5 must aggregate
+//                 segments through h5::IoVector (one vectored
+//                 write_v/read_v per transfer) instead of issuing
+//                 per-segment backend.write()/read() calls — the
+//                 request-per-fragment pattern is exactly what the
+//                 aggregation layer exists to eliminate.  The
+//                 deliberate scalar fallbacks (A/B comparison paths)
+//                 carry per-line waivers.
 //
 // Any rule can be waived for one line with a trailing comment:
 //   // apio-lint: allow(<rule>)
@@ -132,6 +140,9 @@ void lint_file(const fs::path& root, const fs::path& file) {
   const bool is_faulty_backend_impl =
       file.filename() == "faulty_backend.h" ||
       file.filename() == "faulty_backend.cpp";
+  const bool in_h5 = path_under(file, root / "src" / "h5");
+  const bool is_io_vector_impl = file.filename() == "io_vector.h" ||
+                                 file.filename() == "io_vector.cpp";
   const bool is_header = file.extension() == ".h";
 
   std::ifstream in(file);
@@ -181,6 +192,16 @@ void lint_file(const fs::path& root, const fs::path& file) {
              "FaultyBackend is a test-only fault injector and must not be "
              "wired into library code; use storage::ResilientBackend or "
              "AsyncOptions::retry for production resilience");
+    }
+
+    if (in_h5 && !is_io_vector_impl &&
+        (contains(code, "backend.write(") || contains(code, "backend.read(")) &&
+        !waived(raw, "io-vector")) {
+      report(file, lineno, "io-vector",
+             "dataset transfers must aggregate through h5::IoVector "
+             "(write_v/read_v), not issue per-segment backend calls; "
+             "annotate a deliberate scalar fallback with apio-lint: "
+             "allow(io-vector)");
     }
 
     if (contains(code, ".detach()") && !waived(raw, "no-detach")) {
