@@ -2,18 +2,21 @@
 # Full verification pass for apio:
 #
 #   1. default build + complete ctest suite (includes the apio_lint
-#      concurrency-hygiene check and the bench-smoke fixtures as test
-#      cases),
-#   2. bench regression gate: fig3/fig7 re-emit their standardized
+#      concurrency-hygiene check, the apio_analyze static-analysis
+#      gate and the bench-smoke fixtures as test cases),
+#   2. apio_analyze over src/ + tools/ with the checked-in baseline,
+#      archiving the machine-readable report to
+#      build/analysis-report.json (see DESIGN.md "Static analysis"),
+#   3. bench regression gate: fig3/fig7 re-emit their standardized
 #      result JSON and apio_bench_compare diffs it against the committed
 #      bench/baselines/ (hard gate; regenerate intentional moves with
 #      ci/update_baselines.sh).  The sanitizer presets build with
 #      APIO_BUILD_BENCHMARKS=OFF, so sanitized runs never hit the gate.
-#   3. clang-tidy preset (skipped with a notice when clang-tidy is not
+#   4. clang-tidy preset (skipped with a notice when clang-tidy is not
 #      installed — the GCC-only CI image does not ship it),
-#   4. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
+#   5. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
 #      suite plus reduced-iteration stress tests; zero reports allowed),
-#   5. Address+UB-sanitizer build + the fault-matrix resilience suite:
+#   6. Address+UB-sanitizer build + the fault-matrix resilience suite:
 #      the retry/degraded-mode paths juggle staged buffers across the
 #      background stream, so they run under asan/ubsan explicitly.
 #
@@ -30,12 +33,18 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/5] default build + full test suite"
+echo "==> [1/6] default build + full test suite"
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "==> [2/5] bench regression gate"
+echo "==> [2/6] static analysis (apio_analyze)"
+build/tools/apio_analyze . \
+  --baseline tools/analysis/baseline.json \
+  --json build/analysis-report.json
+echo "    report archived at build/analysis-report.json"
+
+echo "==> [3/6] bench regression gate"
 BENCH_JSON_DIR="build/bench-json"
 rm -rf "${BENCH_JSON_DIR}"
 mkdir -p "${BENCH_JSON_DIR}"
@@ -51,7 +60,7 @@ build/tools/apio_bench_compare \
   "${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
   --baselines bench/baselines --tol-det 10 --tol-wall 60
 
-echo "==> [3/5] clang-tidy"
+echo "==> [4/6] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "${JOBS}"
@@ -60,15 +69,15 @@ else
 fi
 
 if [[ "${SKIP_TSAN}" -eq 1 ]]; then
-  echo "==> [4/5] ThreadSanitizer suite skipped (--skip-tsan)"
+  echo "==> [5/6] ThreadSanitizer suite skipped (--skip-tsan)"
 else
-  echo "==> [4/5] ThreadSanitizer build + tsan-labelled suite"
+  echo "==> [5/6] ThreadSanitizer build + tsan-labelled suite"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}"
 fi
 
-echo "==> [5/5] asan-ubsan build + fault-matrix resilience suite"
+echo "==> [6/6] asan-ubsan build + fault-matrix resilience suite"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" -R 'Resilience|FaultInjection'

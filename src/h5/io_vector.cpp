@@ -100,7 +100,9 @@ void IoVector::write_to(storage::Backend& backend) {
     vectored_ops_counter().increment();
     extents_merged_counter().add(merged_);
   }
-  backend.write_v(writes_);
+  const std::uint64_t moved = backend.write_v(writes_);
+  APIO_INVARIANT(moved == bytes_,
+                 "vectored write transferred fewer bytes than submitted");
 }
 
 void IoVector::read_from(storage::Backend& backend) {
@@ -111,7 +113,9 @@ void IoVector::read_from(storage::Backend& backend) {
     vectored_ops_counter().increment();
     extents_merged_counter().add(merged_);
   }
-  backend.read_v(reads_);
+  const std::uint64_t moved = backend.read_v(reads_);
+  APIO_INVARIANT(moved == bytes_,
+                 "vectored read transferred fewer bytes than submitted");
 }
 
 void IoVector::clear() {

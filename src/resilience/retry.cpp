@@ -31,7 +31,10 @@ constexpr double kNanosPerSecond = 1e9;
 
 void WallSleeper::sleep(double seconds) {
   if (seconds <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  // Deliberate: backoff between retry attempts blocks the execution
+  // stream by design — the stream has nothing to do until the retry.
+  std::this_thread::sleep_for(  // apio-lint: allow(thread-context)
+      std::chrono::duration<double>(seconds));
 }
 
 Sleeper& wall_sleeper() {

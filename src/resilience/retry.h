@@ -142,23 +142,23 @@ class RetrySession {
   /// re-executes).  Returns false when the error is classified
   /// permanent, attempts are exhausted, or the backoff would overrun
   /// the deadline — the caller then fails (or degrades) the request.
-  bool backoff_and_retry(const std::exception_ptr& error);
+  [[nodiscard]] bool backoff_and_retry(const std::exception_ptr& error);
 
   /// Records the successful attempt (closes the breaker's failure run).
   void note_success();
 
   /// Executions observed so far (failed attempts + the final success).
   /// Breaker-rejected attempts count as executions.
-  int attempts() const { return attempts_; }
+  [[nodiscard]] int attempts() const { return attempts_; }
 
   /// Total backoff actually slept, in seconds.
-  double backoff_total() const { return backoff_total_; }
+  [[nodiscard]] double backoff_total() const { return backoff_total_; }
 
   /// True when the retry loop stopped because the deadline would have
   /// been overrun.
-  bool deadline_exhausted() const { return deadline_exhausted_; }
+  [[nodiscard]] bool deadline_exhausted() const { return deadline_exhausted_; }
 
-  ErrorClass last_class() const { return last_class_; }
+  [[nodiscard]] ErrorClass last_class() const { return last_class_; }
 
  private:
   RetryPolicy policy_;
@@ -174,7 +174,7 @@ class RetrySession {
 };
 
 /// Outcome of a completed run_with_retry call.
-struct RetryOutcome {
+struct [[nodiscard]] RetryOutcome {
   int attempts = 1;
   double backoff_seconds = 0.0;
 };

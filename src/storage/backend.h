@@ -59,15 +59,31 @@ class Backend {
   /// memcpy loop) counted as a single operation; the default — which
   /// decorators inherit — falls back to one write() per extent so
   /// per-extent metrics, throttling, fault injection and retries keep
-  /// their scalar-path semantics.
-  virtual void write_v(std::span<const WriteExtent> extents) {
-    for (const auto& e : extents) write(e.offset, e.data);
+  /// their scalar-path semantics.  Returns the bytes transferred; a
+  /// completed call transfers every extent in full (partial kernel
+  /// transfers are retried internally), so callers check the count
+  /// against the bytes they submitted.
+  [[nodiscard]] virtual std::uint64_t write_v(
+      std::span<const WriteExtent> extents) {
+    std::uint64_t total = 0;
+    for (const auto& e : extents) {
+      write(e.offset, e.data);
+      total += e.data.size();
+    }
+    return total;
   }
 
   /// Vectored read, same extent contract as write_v.  Every extent must
-  /// lie inside the object (throws IoError otherwise).
-  virtual void read_v(std::span<const ReadExtent> extents) {
-    for (const auto& e : extents) read(e.offset, e.out);
+  /// lie inside the object (throws IoError otherwise).  Returns the
+  /// bytes transferred into the extents' buffers.
+  [[nodiscard]] virtual std::uint64_t read_v(
+      std::span<const ReadExtent> extents) {
+    std::uint64_t total = 0;
+    for (const auto& e : extents) {
+      read(e.offset, e.out);
+      total += e.out.size();
+    }
+    return total;
   }
 
   /// Persists buffered data (no-op for memory backends).

@@ -40,8 +40,8 @@ void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data)
   count_write(data.size());
 }
 
-void MemoryBackend::write_v(std::span<const WriteExtent> extents) {
-  if (extents.empty()) return;
+std::uint64_t MemoryBackend::write_v(std::span<const WriteExtent> extents) {
+  if (extents.empty()) return 0;
   std::uint64_t total = 0;
   std::uint64_t max_end = 0;
   for (const auto& e : extents) {
@@ -58,10 +58,11 @@ void MemoryBackend::write_v(std::span<const WriteExtent> extents) {
     std::memcpy(data_.data() + e.offset, e.data.data(), e.data.size());
   }
   count_write(total);
+  return total;
 }
 
-void MemoryBackend::read_v(std::span<const ReadExtent> extents) {
-  if (extents.empty()) return;
+std::uint64_t MemoryBackend::read_v(std::span<const ReadExtent> extents) {
+  if (extents.empty()) return 0;
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.out.size();
   obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
@@ -79,6 +80,7 @@ void MemoryBackend::read_v(std::span<const ReadExtent> extents) {
     std::memcpy(e.out.data(), data_.data() + e.offset, e.out.size());
   }
   count_read(total);
+  return total;
 }
 
 void MemoryBackend::flush() { count_flush(); }

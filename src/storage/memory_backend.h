@@ -22,8 +22,10 @@ class MemoryBackend final : public Backend {
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
   /// Vectored paths: one lock acquisition and one stats count for the
   /// whole extent list (a per-extent copy loop inside).
-  void write_v(std::span<const WriteExtent> extents) override;
-  void read_v(std::span<const ReadExtent> extents) override;
+  [[nodiscard]] std::uint64_t write_v(
+      std::span<const WriteExtent> extents) override;
+  [[nodiscard]] std::uint64_t read_v(
+      std::span<const ReadExtent> extents) override;
   void flush() override;
   void truncate(std::uint64_t new_size) override;
   std::string name() const override { return "memory"; }

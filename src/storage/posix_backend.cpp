@@ -114,8 +114,8 @@ void PosixBackend::write(std::uint64_t offset, std::span<const std::byte> data) 
   count_write(data.size());
 }
 
-void PosixBackend::write_v(std::span<const WriteExtent> extents) {
-  if (extents.empty()) return;
+std::uint64_t PosixBackend::write_v(std::span<const WriteExtent> extents) {
+  if (extents.empty()) return 0;
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.data.size();
   obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
@@ -164,10 +164,11 @@ void PosixBackend::write_v(std::span<const WriteExtent> extents) {
     }
   }
   count_write(total);
+  return total;
 }
 
-void PosixBackend::read_v(std::span<const ReadExtent> extents) {
-  if (extents.empty()) return;
+std::uint64_t PosixBackend::read_v(std::span<const ReadExtent> extents) {
+  if (extents.empty()) return 0;
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.out.size();
   obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
@@ -211,6 +212,7 @@ void PosixBackend::read_v(std::span<const ReadExtent> extents) {
     }
   }
   count_read(total);
+  return total;
 }
 
 void PosixBackend::flush() {

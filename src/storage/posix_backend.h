@@ -45,8 +45,10 @@ class PosixBackend final : public Backend {
   std::uint64_t size() const override;
   void read(std::uint64_t offset, std::span<std::byte> out) override;
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
-  void write_v(std::span<const WriteExtent> extents) override;
-  void read_v(std::span<const ReadExtent> extents) override;
+  [[nodiscard]] std::uint64_t write_v(
+      std::span<const WriteExtent> extents) override;
+  [[nodiscard]] std::uint64_t read_v(
+      std::span<const ReadExtent> extents) override;
   void flush() override;
   void truncate(std::uint64_t new_size) override;
   std::string name() const override { return "posix:" + path_; }

@@ -16,7 +16,10 @@ double steady_now() {
 
 void sleep_seconds(double s) {
   if (s <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+  // Deliberate: the throttle models PFS latency by blocking the calling
+  // thread, exactly as a congested parallel file system does.
+  std::this_thread::sleep_for(  // apio-lint: allow(thread-context)
+      std::chrono::duration<double>(s));
 }
 
 }  // namespace
@@ -67,20 +70,22 @@ void ThrottledBackend::write(std::uint64_t offset, std::span<const std::byte> da
   count_write(data.size());
 }
 
-void ThrottledBackend::write_v(std::span<const WriteExtent> extents) {
+std::uint64_t ThrottledBackend::write_v(std::span<const WriteExtent> extents) {
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.data.size();
   throttle(total);
-  inner_->write_v(extents);
-  count_write(total);
+  const std::uint64_t moved = inner_->write_v(extents);
+  count_write(moved);
+  return moved;
 }
 
-void ThrottledBackend::read_v(std::span<const ReadExtent> extents) {
+std::uint64_t ThrottledBackend::read_v(std::span<const ReadExtent> extents) {
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.out.size();
   throttle(total);
-  inner_->read_v(extents);
-  count_read(total);
+  const std::uint64_t moved = inner_->read_v(extents);
+  count_read(moved);
+  return moved;
 }
 
 void ThrottledBackend::flush() {

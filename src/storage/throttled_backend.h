@@ -37,8 +37,10 @@ class ThrottledBackend final : public Backend {
   /// budget is charged once (latency + total/bandwidth) rather than
   /// per-extent, which is exactly the cost reduction aggregation buys
   /// on a latency-bound file system.
-  void write_v(std::span<const WriteExtent> extents) override;
-  void read_v(std::span<const ReadExtent> extents) override;
+  [[nodiscard]] std::uint64_t write_v(
+      std::span<const WriteExtent> extents) override;
+  [[nodiscard]] std::uint64_t read_v(
+      std::span<const ReadExtent> extents) override;
   void flush() override;
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override { return "throttled(" + inner_->name() + ")"; }

@@ -38,11 +38,11 @@ class EventSet {
 
   /// Requests currently tracked (completed ones included until
   /// wait()/clear()).
-  std::size_t size() const;
+  [[nodiscard]] std::size_t size() const;
 
   /// True when every tracked request has completed (errors count as
   /// completed).
-  bool test() const;
+  [[nodiscard]] bool test() const;
 
   /// Blocks until every tracked request completes.  Unlike Request::
   /// wait(), errors do NOT propagate as exceptions here; they are
@@ -51,15 +51,15 @@ class EventSet {
   void wait();
 
   /// Number of failed operations observed by past wait() calls.
-  std::size_t num_errors() const;
+  [[nodiscard]] std::size_t num_errors() const;
 
   /// The collected failures with full request identity, oldest first.
-  std::vector<EventError> errors() const;
+  [[nodiscard]] std::vector<EventError> errors() const;
 
   /// Human-readable lines of the collected failures, oldest first; each
   /// contains the failed request's identity, the original error message
   /// and its category.
-  std::vector<std::string> error_messages() const;
+  [[nodiscard]] std::vector<std::string> error_messages() const;
 
   /// Rethrows the first collected failure, if any (convenience for
   /// callers who do want exception propagation).

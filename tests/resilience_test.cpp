@@ -148,11 +148,11 @@ TEST(ResilienceRetrySessionTest, PermanentErrorFailsFast) {
   RetryPolicy p;
   p.max_attempts = 5;
   int calls = 0;
-  EXPECT_THROW(run_with_retry(p, clock, clock, nullptr,
-                              [&] {
-                                ++calls;
-                                throw IoError("dead");
-                              }),
+  EXPECT_THROW((void)run_with_retry(p, clock, clock, nullptr,
+                                    [&] {
+                                      ++calls;
+                                      throw IoError("dead");
+                                    }),
                IoError);
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(clock.sleep_count(), 0u);
@@ -165,10 +165,11 @@ TEST(ResilienceRetrySessionTest, RetryPermanentOptInRetriesIoError) {
   p.base_backoff_seconds = 0.1;
   p.retry_permanent = true;
   int calls = 0;
-  run_with_retry(p, clock, clock, nullptr, [&] {
+  const auto outcome = run_with_retry(p, clock, clock, nullptr, [&] {
     if (++calls < 3) throw IoError("flaky-but-permanent-looking");
   });
   EXPECT_EQ(calls, 3);
+  EXPECT_EQ(outcome.attempts, 3);
 }
 
 TEST(ResilienceRetrySessionTest, DeadlineAbandonsInsteadOfSleeping) {
@@ -180,11 +181,11 @@ TEST(ResilienceRetrySessionTest, DeadlineAbandonsInsteadOfSleeping) {
   p.max_backoff_seconds = 8.0;
   p.deadline_seconds = 2.5;
   int calls = 0;
-  EXPECT_THROW(run_with_retry(p, clock, clock, nullptr,
-                              [&] {
-                                ++calls;
-                                throw TransientIoError("down");
-                              }),
+  EXPECT_THROW((void)run_with_retry(p, clock, clock, nullptr,
+                                    [&] {
+                                      ++calls;
+                                      throw TransientIoError("down");
+                                    }),
                TransientIoError);
   // Attempt 1 fails at t=0, backoff 1.0 fits the 2.5 s budget; attempt 2
   // fails at t=1, backoff 2.0 would overrun -> abandoned unslept.

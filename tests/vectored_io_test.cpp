@@ -51,7 +51,7 @@ TEST(VectoredBackendTest, MemoryRoundTripCountsOneOp) {
   const auto a = pattern_bytes(100, 1);
   const auto b = pattern_bytes(50, 2);
   const std::vector<WriteExtent> writes{{0, a}, {200, b}};
-  backend.write_v(writes);
+  EXPECT_EQ(backend.write_v(writes), 150u);
 
   auto stats = backend.stats();
   EXPECT_EQ(stats.write_ops, 1u);
@@ -60,7 +60,7 @@ TEST(VectoredBackendTest, MemoryRoundTripCountsOneOp) {
 
   std::vector<std::byte> ra(100), rb(50);
   const std::vector<ReadExtent> reads{{0, ra}, {200, rb}};
-  backend.read_v(reads);
+  EXPECT_EQ(backend.read_v(reads), 150u);
   EXPECT_EQ(ra, a);
   EXPECT_EQ(rb, b);
   stats = backend.stats();
@@ -73,7 +73,7 @@ TEST(VectoredBackendTest, MemoryReadPastEndThrows) {
   backend.write(0, pattern_bytes(10, 3));
   std::vector<std::byte> out(8);
   const std::vector<ReadExtent> reads{{5, out}};
-  EXPECT_THROW(backend.read_v(reads), IoError);
+  EXPECT_THROW((void)backend.read_v(reads), IoError);
 }
 
 TEST(VectoredBackendTest, PosixRoundTripWithGapsAndAdjacency) {
@@ -84,14 +84,14 @@ TEST(VectoredBackendTest, PosixRoundTripWithGapsAndAdjacency) {
   const auto c = pattern_bytes(16, 6);
   // a and b are file-adjacent (one pwritev batch); c sits past a gap.
   const std::vector<WriteExtent> writes{{0, a}, {64, b}, {256, c}};
-  backend.write_v(writes);
+  EXPECT_EQ(backend.write_v(writes), 112u);
   auto stats = backend.stats();
   EXPECT_EQ(stats.write_ops, 1u);
   EXPECT_EQ(stats.bytes_written, 112u);
 
   std::vector<std::byte> ra(64), rb(32), rc(16);
   const std::vector<ReadExtent> reads{{0, ra}, {64, rb}, {256, rc}};
-  backend.read_v(reads);
+  EXPECT_EQ(backend.read_v(reads), 112u);
   EXPECT_EQ(ra, a);
   EXPECT_EQ(rb, b);
   EXPECT_EQ(rc, c);
@@ -115,7 +115,7 @@ TEST(VectoredBackendTest, PosixSplitsBatchesAtIovLimit) {
     payloads.push_back(pattern_bytes(kBytes, static_cast<unsigned>(i)));
     writes.push_back({i * kBytes, payloads.back()});
   }
-  backend.write_v(writes);
+  EXPECT_EQ(backend.write_v(writes), kExtents * kBytes);
   EXPECT_EQ(backend.stats().write_ops, 1u);
 
   std::vector<std::byte> all(kExtents * kBytes);
@@ -129,7 +129,7 @@ TEST(VectoredBackendTest, PosixSplitsBatchesAtIovLimit) {
   std::vector<std::vector<std::byte>> outs(kExtents, std::vector<std::byte>(kBytes));
   std::vector<ReadExtent> reads;
   for (std::size_t i = 0; i < kExtents; ++i) reads.push_back({i * kBytes, outs[i]});
-  backend.read_v(reads);
+  EXPECT_EQ(backend.read_v(reads), kExtents * kBytes);
   for (std::size_t i = 0; i < kExtents; ++i) EXPECT_EQ(outs[i], payloads[i]);
   std::filesystem::remove(path);
 }
@@ -169,7 +169,7 @@ TEST(VectoredBackendTest, FaultyBackendFaultsMidBatchLeavingPrefix) {
   const auto b = pattern_bytes(8, 9);
   const auto c = pattern_bytes(8, 10);
   const std::vector<WriteExtent> writes{{0, a}, {100, b}, {200, c}};
-  EXPECT_THROW(faulty.write_v(writes), IoError);
+  EXPECT_THROW((void)faulty.write_v(writes), IoError);
   EXPECT_EQ(faulty.faults_injected(), 1u);
 
   // The decorator's per-extent fallback forwarded the prefix.
@@ -193,7 +193,7 @@ TEST(VectoredBackendTest, ThrottledChargesOneLatencyPerVectoredCall) {
   const auto a = pattern_bytes(1000, 11);
   const auto b = pattern_bytes(1000, 12);
   const std::vector<WriteExtent> writes{{0, a}, {5000, b}};
-  throttled.write_v(writes);
+  EXPECT_EQ(throttled.write_v(writes), 2000u);
   // One aggregated request: latency once + 2000 bytes / 1e6 B/s.
   EXPECT_NEAR(throttled.modelled_delay_seconds(), 0.5 + 0.002, 1e-9);
   EXPECT_EQ(inner->stats().write_ops, 1u);  // forwarded as one vectored call

@@ -1,0 +1,136 @@
+// apio_analyze — whole-repo call-graph static analyzer.
+//
+// Usage:
+//   apio_analyze <repo-root> [--dirs a,b,...] [--json FILE]
+//                [--baseline FILE] [--write-baseline FILE]
+//
+// Tokenizes every .h/.cpp under <repo-root>/src and <repo-root>/tools
+// (override with --dirs), extracts a heuristic call graph, and runs
+// three flow passes: lock-rank order, thread-context blocking, and
+// unchecked I/O outcomes (see DESIGN.md "Static analysis").
+//
+// Exit codes: 0 clean (modulo waivers/baseline), 1 findings or stale
+// waivers, 2 usage/environment error.  --json writes a SARIF-lite
+// report; --baseline suppresses previously accepted finding keys;
+// --write-baseline freezes the current findings as the new baseline.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <repo-root> [--dirs a,b,...] [--json FILE]"
+               " [--baseline FILE] [--write-baseline FILE]\n";
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, ',')) {
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  fs::path root;
+  std::vector<std::string> dirs = {"src", "tools"};
+  std::string json_path, baseline_path, write_baseline_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (arg == "--dirs") {
+      std::string csv;
+      if (!next(csv)) return usage(argv[0]);
+      dirs = split_csv(csv);
+    } else if (arg == "--json") {
+      if (!next(json_path)) return usage(argv[0]);
+    } else if (arg == "--baseline") {
+      if (!next(baseline_path)) return usage(argv[0]);
+    } else if (arg == "--write-baseline") {
+      if (!next(write_baseline_path)) return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (root.empty()) return usage(argv[0]);
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "apio_analyze: cannot resolve repo root: " << ec.message()
+              << "\n";
+    return 2;
+  }
+  bool any_dir = false;
+  for (const auto& d : dirs) {
+    if (fs::exists(root / d)) any_dir = true;
+  }
+  if (!any_dir) {
+    std::cerr << "apio_analyze: none of the requested directories exist "
+                 "under "
+              << root << "\n";
+    return 2;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string err;
+    if (!apio::analysis::read_baseline(baseline_path, baseline, err)) {
+      std::cerr << "apio_analyze: " << err << "\n";
+      return 2;
+    }
+  }
+
+  const apio::analysis::CodeModel model =
+      apio::analysis::build_model(root, dirs);
+  const apio::analysis::Analysis result =
+      apio::analysis::analyze(model, baseline);
+
+  apio::analysis::print_text(result, result.clean() ? std::cout : std::cerr);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "apio_analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << apio::analysis::to_json(result);
+  }
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "apio_analyze: cannot write " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    out << apio::analysis::baseline_json(result);
+  }
+
+  return result.clean() ? 0 : 1;
+}

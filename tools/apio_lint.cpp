@@ -40,17 +40,26 @@
 // Any rule can be waived for one line with a trailing comment:
 //   // apio-lint: allow(<rule>)
 //
+// File loading, comment/string stripping, token matching and the
+// waiver syntax live in tools/analysis/source_model.{h,cpp}, shared
+// with apio_analyze so the two tools cannot drift on what counts as
+// code or how a waiver is spelled.
+//
 // Usage: apio_lint <repo-root>
 // Exit code 0 when clean, 1 when violations were found (wired into
 // CTest as the `lint` label, so tier-1 fails on violations).
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "analysis/source_model.h"
+
 namespace fs = std::filesystem;
+
+using apio::analysis::contains;
+using apio::analysis::has_token;
+using apio::analysis::waived;
 
 namespace {
 
@@ -63,65 +72,9 @@ struct Violation {
 
 std::vector<Violation> g_violations;
 
-void report(const fs::path& file, std::size_t line, std::string rule,
+void report(const std::string& file, std::size_t line, std::string rule,
             std::string message) {
-  g_violations.push_back(
-      {file.generic_string(), line, std::move(rule), std::move(message)});
-}
-
-bool contains(std::string_view haystack, std::string_view needle) {
-  return haystack.find(needle) != std::string_view::npos;
-}
-
-/// True when `line` carries an "apio-lint: allow(<rule>)" waiver.
-bool waived(std::string_view line, std::string_view rule) {
-  const std::string marker = "apio-lint: allow(" + std::string(rule) + ")";
-  return contains(line, marker);
-}
-
-/// Strips // and /* */ comments (tracking block state across lines) so
-/// rule tokens inside prose do not count.  String literals are not
-/// parsed; none of the rule tokens plausibly appears inside one.
-std::string strip_comments(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size();) {
-    if (in_block) {
-      if (line.compare(i, 2, "*/") == 0) {
-        in_block = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      continue;
-    }
-    if (line.compare(i, 2, "/*") == 0) {
-      in_block = true;
-      i += 2;
-      continue;
-    }
-    if (line.compare(i, 2, "//") == 0) break;
-    out.push_back(line[i]);
-    ++i;
-  }
-  return out;
-}
-
-/// Token match: `needle` not preceded/followed by an identifier char.
-bool has_token(std::string_view code, std::string_view needle) {
-  auto is_ident = [](char c) {
-    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-           (c >= '0' && c <= '9') || c == '_';
-  };
-  std::size_t pos = 0;
-  while ((pos = code.find(needle, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
-    const std::size_t end = pos + needle.size();
-    const bool right_ok = end >= code.size() || !is_ident(code[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
+  g_violations.push_back({file, line, std::move(rule), std::move(message)});
 }
 
 bool path_under(const fs::path& file, const fs::path& dir) {
@@ -145,20 +98,18 @@ void lint_file(const fs::path& root, const fs::path& file) {
                                  file.filename() == "io_vector.cpp";
   const bool is_header = file.extension() == ".h";
 
-  std::ifstream in(file);
-  if (!in) {
-    report(file, 0, "io", "cannot open file");
+  apio::analysis::SourceFile sf;
+  if (!apio::analysis::load_source(root, file, sf)) {
+    report(file.generic_string(), 0, "io", "cannot open file");
     return;
   }
 
   bool saw_pragma_once = false;
-  bool in_block_comment = false;
-  std::string raw;
-  std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
+  for (std::size_t li = 0; li < sf.raw.size(); ++li) {
+    const std::size_t lineno = li + 1;
+    const std::string& raw = sf.raw[li];
     if (contains(raw, "#pragma once")) saw_pragma_once = true;
-    const std::string code = strip_comments(raw, in_block_comment);
+    const std::string& code = sf.code[li];
     if (code.empty()) continue;
 
     if (in_ranked_scope) {
@@ -166,7 +117,7 @@ void lint_file(const fs::path& root, const fs::path& file) {
                               "std::timed_mutex", "std::shared_mutex",
                               "std::recursive_timed_mutex"}) {
         if (has_token(code, bad) && !waived(raw, "raw-mutex")) {
-          report(file, lineno, "raw-mutex",
+          report(sf.path, lineno, "raw-mutex",
                  std::string(bad) +
                      " is forbidden here; use apio::debug::RankedMutex so "
                      "the lock-rank order is enforced");
@@ -174,21 +125,21 @@ void lint_file(const fs::path& root, const fs::path& file) {
       }
       if (has_token(code, "std::condition_variable") &&
           !waived(raw, "raw-mutex")) {
-        report(file, lineno, "raw-mutex",
+        report(sf.path, lineno, "raw-mutex",
                "std::condition_variable waits on a raw std::mutex; use "
                "std::condition_variable_any with a RankedMutex");
       }
     }
 
     if (has_token(code, "set_observer") && !waived(raw, "set-observer")) {
-      report(file, lineno, "set-observer",
+      report(sf.path, lineno, "set-observer",
              "set_observer() is a deprecated single-slot shim that clears "
              "the whole chain; subscribe with add_observer()");
     }
 
     if (in_src && !is_faulty_backend_impl && has_token(code, "FaultyBackend") &&
         !waived(raw, "faulty-backend")) {
-      report(file, lineno, "faulty-backend",
+      report(sf.path, lineno, "faulty-backend",
              "FaultyBackend is a test-only fault injector and must not be "
              "wired into library code; use storage::ResilientBackend or "
              "AsyncOptions::retry for production resilience");
@@ -197,7 +148,7 @@ void lint_file(const fs::path& root, const fs::path& file) {
     if (in_h5 && !is_io_vector_impl &&
         (contains(code, "backend.write(") || contains(code, "backend.read(")) &&
         !waived(raw, "io-vector")) {
-      report(file, lineno, "io-vector",
+      report(sf.path, lineno, "io-vector",
              "dataset transfers must aggregate through h5::IoVector "
              "(write_v/read_v), not issue per-segment backend calls; "
              "annotate a deliberate scalar fallback with apio-lint: "
@@ -205,7 +156,7 @@ void lint_file(const fs::path& root, const fs::path& file) {
     }
 
     if (contains(code, ".detach()") && !waived(raw, "no-detach")) {
-      report(file, lineno, "no-detach",
+      report(sf.path, lineno, "no-detach",
              "detached threads escape shutdown and sanitizer analysis; "
              "join every thread");
     }
@@ -213,7 +164,7 @@ void lint_file(const fs::path& root, const fs::path& file) {
     if (in_tests) {
       for (const char* bad : {"sleep_for", "sleep_until", "usleep"}) {
         if (has_token(code, bad) && !waived(raw, "no-test-sleep")) {
-          report(file, lineno, "no-test-sleep",
+          report(sf.path, lineno, "no-test-sleep",
                  "wall-clock sleeps make tests flaky; synchronise on "
                  "events, or annotate a compute-phase simulation with "
                  "apio-lint: allow(no-test-sleep)");
@@ -223,16 +174,7 @@ void lint_file(const fs::path& root, const fs::path& file) {
   }
 
   if (is_header && !saw_pragma_once) {
-    report(file, 1, "pragma-once", "headers must use #pragma once");
-  }
-}
-
-void walk(const fs::path& root, const fs::path& dir) {
-  if (!fs::exists(dir)) return;
-  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-    if (!entry.is_regular_file()) continue;
-    const auto ext = entry.path().extension();
-    if (ext == ".h" || ext == ".cpp") lint_file(root, entry.path());
+    report(sf.path, 1, "pragma-once", "headers must use #pragma once");
   }
 }
 
@@ -256,10 +198,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  walk(root, root / "src");
-  walk(root, root / "tests");
-  walk(root, root / "examples");
-  walk(root, root / "bench");
+  for (const auto& file : apio::analysis::collect_sources(
+           root, {"src", "tests", "examples", "bench"})) {
+    lint_file(root, file);
+  }
 
   for (const auto& v : g_violations) {
     std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
