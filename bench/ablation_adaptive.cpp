@@ -12,7 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/adaptive_connector.h"
 #include "vol/async_connector.h"
 #include "vol/native_connector.h"
@@ -29,12 +29,13 @@ struct Regime {
 };
 
 storage::BackendPtr make_backend(const Regime& regime) {
-  auto memory = std::make_shared<storage::MemoryBackend>();
-  if (regime.pfs_bandwidth <= 0) return memory;
+  if (regime.pfs_bandwidth <= 0) {
+    return std::make_shared<storage::MemoryBackend>();
+  }
   storage::ThrottleParams params;
   params.bandwidth = regime.pfs_bandwidth;
   params.time_scale = 1.0;
-  return std::make_shared<storage::ThrottledBackend>(memory, params);
+  return storage::BackendStack::memory().throttled(params).build();
 }
 
 enum class Mode { kSync, kAsync, kAdaptive };

@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "pmpi/world.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/native_connector.h"
 #include "vol/passthrough_connector.h"
 #include "workloads/two_phase.h"
@@ -51,8 +51,8 @@ int main() {
       throttle.bandwidth = 32.0 * kMiB;
       throttle.latency = 2e-3;
       throttle.time_scale = 1.0;
-      auto file = h5::File::create(std::make_shared<storage::ThrottledBackend>(
-          std::make_shared<storage::MemoryBackend>(), throttle));
+      auto file = h5::File::create(
+          storage::BackendStack::memory().throttled(throttle).build());
       auto stack = std::make_shared<vol::PassthroughConnector>(
           std::make_shared<vol::NativeConnector>(file));
       auto ds = file->root().create_dataset("d", h5::Datatype::kInt32,

@@ -1,0 +1,88 @@
+// fig_fairshare: the multi-tenant fairness gate.
+//
+// Runs workloads::multi_job's reference scenario — three saturating
+// tenants (checkpoint : vpic : bdcats) at weights 1:2:4 over ONE
+// throttled Lustre model behind sched::FairScheduler — and gates:
+//
+//   1. each tenant's dispatched bytes, sampled while every tenant was
+//      still backlogged, lie within 10% of its weighted max-min share;
+//   2. the priority lane stays responsive: p99 submit->grant wait of
+//      the checkpoint tenant's flushes is bounded by a few bulk-op
+//      service times while the bulk lanes saturate the channel.
+//
+// Both checks fail the binary directly (a broken scheduler should not
+// need a stale baseline to be caught); the per-tenant shares and waits
+// are also exported for apio_bench_compare drift tracking.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/multi_job.h"
+
+using namespace apio;
+
+int main() {
+  bench::banner("fig_fairshare — weighted max-min fair-share under contention",
+                "3 tenants (1:2:4) saturating one 64 MiB/s throttled channel "
+                "through sched::FairScheduler");
+
+  const auto params = workloads::MultiJobParams::reference();
+  const auto result = workloads::run_multi_job(params);
+
+  std::printf("\n%s\n", result.table().c_str());
+  std::printf("  max share error: %.2f%%   elapsed: %.3f s\n",
+              100.0 * result.max_share_error(), result.elapsed_seconds);
+
+  // Self-gates.  Share tolerance is the acceptance criterion's 10%.
+  // The priority bound is 10 bulk service times: one residual transfer
+  // the flush must wait out (admission is non-preemptive), the metadata
+  // write that precedes the backend flush, and headroom for OS
+  // scheduling jitter when the bench shares cores with a parallel
+  // ctest run (observed up to ~6x serial).  It still cleanly separates
+  // priority-jump (measured ~1-6x) from un-prioritised dispatch: a
+  // weight-1 tenant at a 1/7 share is granted one bulk transfer per ~7
+  // service times, so a flush queued behind even two of its own bulk
+  // steps would wait >= ~14 service times.
+  const double share_tolerance = 0.10;
+  const double bulk_service_seconds =
+      (params.pfs_latency + static_cast<double>(params.tenants[0].bytes_per_step) /
+                                params.pfs_bandwidth) *
+      params.time_scale;
+  const double priority_bound = 10.0 * bulk_service_seconds;
+
+  bool ok = true;
+  if (result.max_share_error() > share_tolerance) {
+    std::printf("  FAIL: share error %.2f%% exceeds %.0f%% tolerance\n",
+                100.0 * result.max_share_error(), 100.0 * share_tolerance);
+    ok = false;
+  }
+  if (result.priority_p99_wait() > priority_bound) {
+    std::printf("  FAIL: priority p99 wait %.2f ms exceeds bound %.2f ms\n",
+                1e3 * result.priority_p99_wait(), 1e3 * priority_bound);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("  PASS: shares within %.0f%% of weighted max-min, priority "
+                "p99 %.2f ms <= %.2f ms\n",
+                100.0 * share_tolerance, 1e3 * result.priority_p99_wait(),
+                1e3 * priority_bound);
+  }
+
+  // Shares are zero-sum across tenants, so the one-sided "wall"
+  // tolerance still catches any tenant losing its share (some other
+  // tenant's share must rise); the hard fairness bound is the self-gate
+  // above, which needs no baseline at all.  The priority p99 wait is
+  // deliberately NOT a baseline-gated value: a ~2 ms wait swings 2-5x
+  // with OS scheduling jitter when ctest runs the suite in parallel,
+  // which no fixed relative tolerance absorbs — the absolute self-gate
+  // above is the binding check, and the raw histogram still lands in
+  // the jsonl's registry-snapshot metrics for inspection.
+  std::vector<bench::BenchValue> values;
+  for (const auto& tenant : result.tenants) {
+    values.push_back({"share." + tenant.name, tenant.share, "fraction", "wall"});
+  }
+  values.push_back({"elapsed_seconds", result.elapsed_seconds, "s", "wall"});
+
+  const int status =
+      bench::record_bench_metrics("fig_fairshare", "reference_1_2_4", values);
+  return ok ? status : 1;
+}

@@ -7,8 +7,10 @@
 #   2. apio_analyze over src/ + tools/ with the checked-in baseline,
 #      archiving the machine-readable report to
 #      build/analysis-report.json (see DESIGN.md "Static analysis"),
-#   3. bench regression gate: fig3/fig7 re-emit their standardized
-#      result JSON and apio_bench_compare diffs it against the committed
+#   3. bench regression gate: the gated benches (fig3, fig7, the
+#      vectored-io ablation, the fig_fairshare fairness gate) re-emit
+#      their standardized result JSON and apio_bench_compare diffs it
+#      against the committed
 #      bench/baselines/ (hard gate; regenerate intentional moves with
 #      ci/update_baselines.sh).  The sanitizer presets build with
 #      APIO_BUILD_BENCHMARKS=OFF, so sanitized runs never hit the gate.
@@ -54,10 +56,16 @@ APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
   build/bench/fig7_overlap >/dev/null
 APIO_BENCH_JSON="${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
   build/bench/ablation_vectored_io >/dev/null
+# fig_fairshare hard-fails on its own if the scheduler breaks weighted
+# max-min fairness or priority-lane latency; the JSON diff on top only
+# tracks drift of the exported shares/waits.
+APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig_fairshare.jsonl" \
+  build/bench/fig_fairshare >/dev/null
 build/tools/apio_bench_compare \
   "${BENCH_JSON_DIR}/fig3_vpic_write.jsonl" \
   "${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
   "${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
+  "${BENCH_JSON_DIR}/fig_fairshare.jsonl" \
   --baselines bench/baselines --tol-det 10 --tol-wall 60
 
 echo "==> [4/6] clang-tidy"

@@ -17,7 +17,7 @@ if [[ ! -d "${BUILD}/bench" ]]; then
 fi
 
 mkdir -p bench/baselines
-for bench in fig3_vpic_write fig7_overlap; do
+for bench in fig3_vpic_write fig7_overlap ablation_vectored_io fig_fairshare; do
   out="bench/baselines/${bench}.jsonl"
   rm -f "${out}"
   APIO_BENCH_JSON="${out}" "${BUILD}/bench/${bench}" >/dev/null

@@ -15,7 +15,7 @@
 #include "common/units.h"
 #include "model/advisor.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/async_connector.h"
 #include "vol/native_connector.h"
 
@@ -26,8 +26,7 @@ int main() {
   storage::ThrottleParams throttle;
   throttle.bandwidth = 48.0 * kMiB;
   throttle.time_scale = 1.0;
-  auto backend = std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), throttle);
+  auto backend = storage::BackendStack::memory().throttled(throttle).build();
   auto file = h5::File::create(backend);
 
   auto advisor = std::make_shared<model::ModeAdvisor>();

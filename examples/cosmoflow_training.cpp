@@ -7,7 +7,7 @@
 
 #include "common/units.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/async_connector.h"
 #include "vol/native_connector.h"
 #include "workloads/cosmoflow.h"
@@ -26,8 +26,7 @@ int main() {
     storage::ThrottleParams throttle;
     throttle.bandwidth = 24.0 * kMiB;
     throttle.time_scale = 1.0;
-    return std::make_shared<storage::ThrottledBackend>(
-        std::make_shared<storage::MemoryBackend>(), throttle);
+    return storage::BackendStack::memory().throttled(throttle).build();
   };
 
   std::printf("Cosmoflow loader: %d samples/rank of %s, batch %d, %d epochs\n",

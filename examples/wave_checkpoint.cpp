@@ -10,7 +10,7 @@
 #include "common/units.h"
 #include "obs/epoch_analyzer.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/async_connector.h"
 #include "workloads/eqsim.h"
 
@@ -20,8 +20,8 @@ int main() {
   storage::ThrottleParams throttle;
   throttle.bandwidth = 96.0 * kMiB;
   throttle.time_scale = 1.0;
-  auto file = h5::File::create(std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), throttle));
+  auto file = h5::File::create(
+      storage::BackendStack::memory().throttled(throttle).build());
   auto connector = std::make_shared<vol::AsyncConnector>(file);
 
   // Epoch analyzer: consumes the connector's IoRecord stream plus the

@@ -19,6 +19,7 @@ const char* lock_rank_name(LockRank rank) {
     case LockRank::kPmpiBarrier: return "pmpi.barrier";
     case LockRank::kPmpiMailbox: return "pmpi.mailbox";
     case LockRank::kResilienceBreaker: return "resilience.breaker";
+    case LockRank::kSchedQueue: return "sched.queue";
     case LockRank::kStorageWrapper: return "storage.wrapper";
     case LockRank::kStorageBase: return "storage.base";
     case LockRank::kTaskingPool: return "tasking.pool";

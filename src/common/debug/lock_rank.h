@@ -39,6 +39,9 @@ enum class LockRank : int {
   // -- resilience (breaker consulted by storage wrappers and the vol
   //    background stream; never held across an inner transfer) --------
   kResilienceBreaker = 44, ///< CircuitBreaker state
+  // -- sched (QoS admission queues; released across the granted
+  //    transfer, so never held while a storage lock is taken) ---------
+  kSchedQueue = 45,     ///< FairScheduler tenant queues + channel state
   // -- storage backends (wrappers delegate inward) --------------------
   kStorageWrapper = 46, ///< throttled/faulty interposer state
   kStorageBase = 50,    ///< memory backend byte store

@@ -1,0 +1,73 @@
+// BackendStack: fluent builder for backend decorator chains.
+//
+// Hand-nesting make_shared calls gets the decorator ORDER wrong
+// silently — a resilient(qos(...)) stack retries *inside* its admission
+// grant, hogging the shared channel for the whole backoff schedule.
+// The builder makes the order part of the API:
+//
+//   auto pfs = storage::BackendStack::posix(path)
+//                  .throttled(model)      // PFS timing model
+//                  .resilient(policy)     // retries under the throttle
+//                  .qos(scheduler)        // admission outermost
+//                  .build();
+//
+// Layer order (inner to outer) is leaf < throttled < resilient < qos;
+// each call checks (APIO_INVARIANT, so a debug-build abort) that it is
+// applied outside every layer already present.  Skipping layers is
+// fine; adding one twice or out of order is not.
+#pragma once
+
+#include <string>
+
+#include "storage/backend.h"
+#include "storage/posix_backend.h"
+#include "storage/qos_backend.h"
+#include "storage/resilient_backend.h"
+#include "storage/throttled_backend.h"
+
+namespace apio::storage {
+
+class BackendStack {
+ public:
+  /// Fresh in-memory leaf (tests, staging, modelled PFS under a throttle).
+  static BackendStack memory();
+
+  /// POSIX file leaf.
+  static BackendStack posix(const std::string& path,
+                            PosixBackend::Mode mode =
+                                PosixBackend::Mode::kCreateTruncate);
+
+  /// Adopts an existing backend as the leaf (e.g. a FaultyBackend the
+  /// test keeps a handle to for fault planning).
+  static BackendStack wrap(BackendPtr leaf);
+
+  /// PFS timing model layer.
+  BackendStack& throttled(ThrottleParams params);
+
+  /// Retry/backoff/breaker layer.  `clock`/`sleeper` default to wall
+  /// time; tests inject a resilience::ManualClock as both.
+  BackendStack& resilient(ResilienceOptions options,
+                          const Clock* clock = nullptr,
+                          resilience::Sleeper* sleeper = nullptr);
+
+  /// Fair-share admission layer; always outermost.
+  BackendStack& qos(sched::FairSchedulerPtr scheduler, QosOptions options = {});
+
+  /// The finished chain.  The builder stays usable as a handle but adds
+  /// no further layers below ones already applied.
+  [[nodiscard]] BackendPtr build() const;
+
+ private:
+  /// Decorator order, inner to outer.  Each layer must be applied at a
+  /// strictly higher stage than everything already present.
+  enum class Stage : int { kLeaf = 0, kThrottled = 1, kResilient = 2, kQos = 3 };
+
+  explicit BackendStack(BackendPtr leaf);
+
+  void require_order(Stage next, const char* layer);
+
+  BackendPtr backend_;
+  Stage stage_ = Stage::kLeaf;
+};
+
+}  // namespace apio::storage

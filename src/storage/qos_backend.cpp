@@ -1,0 +1,84 @@
+#include "storage/qos_backend.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace apio::storage {
+
+namespace {
+
+/// Holds one admission grant for the duration of the inner transfer;
+/// releases the channel slot on every exit path, including throws.
+class Admission {
+ public:
+  Admission(sched::FairScheduler& scheduler, const sched::IoRequest& request)
+      : scheduler_(scheduler), ticket_(scheduler.admit(request)) {}
+  ~Admission() { scheduler_.complete(ticket_); }
+
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+
+ private:
+  sched::FairScheduler& scheduler_;
+  sched::TicketPtr ticket_;
+};
+
+}  // namespace
+
+QosBackend::QosBackend(BackendPtr inner, sched::FairSchedulerPtr scheduler,
+                       QosOptions options)
+    : inner_(std::move(inner)),
+      scheduler_(std::move(scheduler)),
+      options_(std::move(options)) {
+  APIO_REQUIRE(inner_ != nullptr, "QosBackend needs an inner backend");
+  APIO_REQUIRE(scheduler_ != nullptr, "QosBackend needs a scheduler");
+}
+
+sched::IoRequest QosBackend::request_for(obs::IoOp op,
+                                         std::uint64_t bytes) const {
+  sched::IoRequest request;
+  request.op = op;
+  request.bytes = bytes;
+  if (const sched::SubmissionContext* ctx = sched::current_submission()) {
+    request.tenant = ctx->tenant;
+    request.lane = ctx->lane;
+    request.deadline = ctx->deadline;
+  }
+  if (request.tenant.empty()) request.tenant = options_.default_tenant;
+  if (op == obs::IoOp::kFlush) request.lane = options_.flush_lane;
+  return request;
+}
+
+void QosBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  Admission grant(*scheduler_, request_for(obs::IoOp::kRead, out.size()));
+  inner_->read(offset, out);
+}
+
+void QosBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
+  Admission grant(*scheduler_, request_for(obs::IoOp::kWrite, data.size()));
+  inner_->write(offset, data);
+}
+
+std::uint64_t QosBackend::write_v(std::span<const WriteExtent> extents) {
+  const std::uint64_t total = std::accumulate(
+      extents.begin(), extents.end(), std::uint64_t{0},
+      [](std::uint64_t n, const WriteExtent& e) { return n + e.data.size(); });
+  Admission grant(*scheduler_, request_for(obs::IoOp::kWrite, total));
+  return inner_->write_v(extents);
+}
+
+std::uint64_t QosBackend::read_v(std::span<const ReadExtent> extents) {
+  const std::uint64_t total = std::accumulate(
+      extents.begin(), extents.end(), std::uint64_t{0},
+      [](std::uint64_t n, const ReadExtent& e) { return n + e.out.size(); });
+  Admission grant(*scheduler_, request_for(obs::IoOp::kRead, total));
+  return inner_->read_v(extents);
+}
+
+void QosBackend::flush() {
+  Admission grant(*scheduler_, request_for(obs::IoOp::kFlush, 0));
+  inner_->flush();
+}
+
+}  // namespace apio::storage

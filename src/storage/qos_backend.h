@@ -1,0 +1,69 @@
+// QosBackend: fair-share admission decorator.
+//
+// Wraps another backend and routes every data operation through a
+// shared sched::FairScheduler before it reaches the inner store.  The
+// scheduler serialises (or bounds) concurrent access to the modelled
+// channel and orders waiting requests by weighted max-min fairness —
+// see sched/fair_scheduler.h for the math.
+//
+// Tenant attribution comes from the calling thread's
+// sched::SubmissionContext (bound by vol::AsyncConnector around its
+// drain path, or by ScopedSubmission directly in application code);
+// unbound threads are charged to QosOptions::default_tenant.  Flushes
+// ride the priority lane by default — they are the latency-sensitive
+// barrier operations a bulk tenant must not starve.
+//
+// A vectored write_v/read_v is admitted as ONE request for the total
+// byte count, mirroring ThrottledBackend's one-modelled-request-per-
+// call accounting: aggregation buys one queue pass, not per-extent
+// admission.
+//
+// Stacking order: QosBackend goes OUTERMOST (qos(resilient(throttled(
+// leaf)))) so retried attempts re-enter admission and cannot hog the
+// channel while backing off — storage::BackendStack enforces this.
+#pragma once
+
+#include <memory>
+
+#include "sched/fair_scheduler.h"
+#include "storage/backend.h"
+
+namespace apio::storage {
+
+struct QosOptions {
+  /// Tenant charged when the calling thread has no submission binding.
+  sched::TenantId default_tenant = sched::kDefaultTenant;
+  /// Lane for flush(); metadata barriers default to priority.
+  sched::Lane flush_lane = sched::Lane::kPriority;
+};
+
+class QosBackend final : public Backend {
+ public:
+  QosBackend(BackendPtr inner, sched::FairSchedulerPtr scheduler,
+             QosOptions options = {});
+
+  std::uint64_t size() const override { return inner_->size(); }
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+  void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  [[nodiscard]] std::uint64_t write_v(
+      std::span<const WriteExtent> extents) override;
+  [[nodiscard]] std::uint64_t read_v(
+      std::span<const ReadExtent> extents) override;
+  void flush() override;
+  /// Rare metadata operation; passes through unadmitted (it must be
+  /// externally serialised anyway, per the Backend contract).
+  void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
+  std::string name() const override { return "qos(" + inner_->name() + ")"; }
+
+  const sched::FairSchedulerPtr& scheduler() const { return scheduler_; }
+  const QosOptions& options() const { return options_; }
+
+ private:
+  sched::IoRequest request_for(obs::IoOp op, std::uint64_t bytes) const;
+
+  BackendPtr inner_;
+  sched::FairSchedulerPtr scheduler_;
+  QosOptions options_;
+};
+
+}  // namespace apio::storage

@@ -12,7 +12,25 @@ obs::Gauge& queue_depth_gauge() {
   return g;
 }
 
+obs::Counter& pops_counter() {
+  static auto& c = obs::Registry::instance().counter("tasking.pops");
+  return c;
+}
+
 }  // namespace
+
+/// Shared bookkeeping for both pop variants — blocking pop() and the
+/// non-blocking try_pop() used by scheduler-driven drains must emit
+/// identical queue-depth/pop metrics or profiles develop blind spots.
+/// Called with mutex_ held, after a task was removed from the queue.
+void Pool::note_popped_locked() {
+  ++drained_;
+  APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
+  if (obs::enabled()) {
+    queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
+    pops_counter().increment();
+  }
+}
 
 void Pool::push(TaskFn task) {
   if (!try_push(std::move(task))) {
@@ -42,11 +60,7 @@ std::optional<TaskFn> Pool::pop() {
   if (tasks_.empty()) return std::nullopt;
   TaskFn task = std::move(tasks_.front());
   tasks_.pop_front();
-  ++drained_;
-  APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
-  if (obs::enabled()) {
-    queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
-  }
+  note_popped_locked();
   return task;
 }
 
@@ -55,11 +69,7 @@ std::optional<TaskFn> Pool::try_pop() {
   if (tasks_.empty()) return std::nullopt;
   TaskFn task = std::move(tasks_.front());
   tasks_.pop_front();
-  ++drained_;
-  APIO_INVARIANT(drained_ <= accepted_, "Pool drained more tasks than accepted");
-  if (obs::enabled()) {
-    queue_depth_gauge().set(static_cast<std::int64_t>(tasks_.size()));
-  }
+  note_popped_locked();
   return task;
 }
 

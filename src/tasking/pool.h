@@ -53,6 +53,8 @@ class Pool {
   std::uint64_t drained() const;
 
  private:
+  void note_popped_locked();
+
   mutable debug::RankedMutex<debug::LockRank::kTaskingPool> mutex_;
   std::condition_variable_any cv_;
   std::deque<TaskFn> tasks_;

@@ -106,6 +106,10 @@ struct AsyncConnector::AsyncOp {
   tasking::EventualPtr done;
   RequestInfo info;
   RequestOutcomePtr outcome;
+  /// Fair-share identity captured at issue time; re-bound on the
+  /// background stream around every attempt so a QosBackend under the
+  /// file charges the issuing tenant.
+  sched::SubmissionContext submission;
   std::unique_ptr<resilience::RetrySession> session;
   /// Observer record emission; run on final success only.
   std::function<void()> on_complete;
@@ -148,6 +152,24 @@ void AsyncConnector::shutdown_machinery() {
 void AsyncConnector::enqueue_op(std::shared_ptr<AsyncOp> op) {
   if (closed_.load()) throw StateError("AsyncConnector used after close()");
   obs::ScopedSpan span("enqueue", obs::Category::kVol);
+
+  // Submission identity, resolved at issue time: connector-level tenant
+  // wins, then the issuing thread's binding.  Flushes ride the priority
+  // lane (they are the latency-sensitive barrier ops the fairness gate
+  // protects); the op's admission deadline is the same issue-anchored
+  // budget its retries run under.
+  if (const sched::SubmissionContext* ctx = sched::current_submission()) {
+    op->submission = *ctx;
+  }
+  if (!options_.tenant.empty()) op->submission.tenant = options_.tenant;
+  op->submission.lane = op->kind == obs::IoOp::kFlush
+                            ? sched::Lane::kPriority
+                            : sched::Lane::kBulk;
+  if (options_.retry.deadline_seconds > 0.0) {
+    op->submission.deadline =
+        sched::IoRequest::deadline_from(options_.retry, clock_->now());
+  }
+
   op->done = tasking::Eventual::make();
   op->outcome = std::make_shared<RequestOutcome>();
   op->session = std::make_unique<resilience::RetrySession>(
@@ -200,6 +222,11 @@ void AsyncConnector::execute_op(AsyncOp& op) {
 
 void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
   APIO_ASSERT_ON_STREAM();
+  // Background threads do not inherit the issuer's thread-local
+  // submission binding; restore it for the whole attempt (storage
+  // transfer AND sync-fallback replay) so QosBackend admission charges
+  // the right tenant.
+  sched::ScopedSubmission bind(op->submission);
   try {
     op->session->check_breaker();
     execute_op(*op);

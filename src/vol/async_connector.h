@@ -33,6 +33,7 @@
 #include "common/clock.h"
 #include "common/debug/lock_rank.h"
 #include "resilience/retry.h"
+#include "sched/io_request.h"
 #include "tasking/execution_stream.h"
 #include "vol/connector.h"
 
@@ -67,6 +68,14 @@ struct AsyncOptions {
   /// Optional circuit breaker consulted before every attempt; may be
   /// shared across connectors targeting the same backend.
   resilience::CircuitBreakerPtr breaker;
+  /// Fair-share identity charged for this connector's storage work when
+  /// the file sits on a storage::QosBackend.  Empty = inherit the
+  /// issuing thread's sched::ScopedSubmission binding (falling back to
+  /// the QosBackend's default tenant).  The connector captures the
+  /// identity at *issue* time and re-binds it on the background stream
+  /// around each attempt, so admission always charges the tenant that
+  /// issued the op, never the stream draining it.
+  sched::TenantId tenant;
 };
 
 /// Counters exposed for tests, benches and the model.

@@ -82,14 +82,6 @@ class Connector {
     observers_->remove(observer);
   }
 
-  /// DEPRECATED single-slot API, kept as a thin shim for one release:
-  /// replaces the entire chain with `observer` (nullptr clears).  New
-  /// code must use add_observer(); tools/apio_lint rejects other uses.
-  void set_observer(IoObserverPtr observer) {  // apio-lint: allow(set-observer)
-    observers_->clear();
-    if (observer != nullptr) observers_->add(std::move(observer));
-  }
-
   /// The connector's own observer chain.  Routing connectors keep their
   /// chain empty and forward add_observer() to their inner connectors.
   const CompositeObserverPtr& observer_chain() const { return observers_; }

@@ -7,7 +7,7 @@
 
 #include "common/units.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/adaptive_connector.h"
 
 namespace apio::vol {
@@ -17,8 +17,7 @@ storage::BackendPtr slow_pfs(double bandwidth) {
   storage::ThrottleParams params;
   params.bandwidth = bandwidth;
   params.time_scale = 1.0;
-  return std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), params);
+  return storage::BackendStack::memory().throttled(params).build();
 }
 
 TEST(AdaptiveConnectorTest, DataCorrectAcrossModeSwitches) {

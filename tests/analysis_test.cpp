@@ -7,6 +7,7 @@
 // the checked-in baseline, so the suite fails the moment the real tree
 // regresses.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -57,9 +58,13 @@ int line_of(const std::string& text, const std::string& needle) {
 class AnalyzerFixture {
  public:
   AnalyzerFixture() {
+    // ctest runs each test as its own process, so a process-local
+    // counter alone collides under parallel runs; key the root on the
+    // pid as well.
     static int counter = 0;
     root_ = fs::temp_directory_path() /
-            ("apio_analysis_fixture_" + std::to_string(counter++));
+            ("apio_analysis_fixture_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
     fs::remove_all(root_);
     fs::create_directories(root_ / "src/common/debug");
     write("src/common/debug/lock_rank.h", kLockRankHeader);

@@ -10,7 +10,7 @@
 #include "model/advisor.h"
 #include "sim/epoch_sim.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/async_connector.h"
 #include "vol/native_connector.h"
 #include "workloads/vpic_io.h"
@@ -25,8 +25,7 @@ storage::BackendPtr slow_backend(double bandwidth, double latency = 0.0) {
   params.bandwidth = bandwidth;
   params.latency = latency;
   params.time_scale = 1.0;
-  return std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), params);
+  return storage::BackendStack::memory().throttled(params).build();
 }
 
 TEST(FeedbackLoopTest, AdvisorLearnsFromRealConnectors) {
@@ -146,8 +145,11 @@ TEST(ConsistencyTest, RealAsyncConnectorMatchesSimulatorPipelineShape) {
   // pipeline must agree qualitatively: caller-visible blocking is a
   // small fraction of the end-to-end completion when compute covers the
   // background transfer.
+  // 0.5 s modelled background transfer: long enough that main-thread
+  // descheduling (tens of ms when a parallel TSan run saturates the
+  // cores) cannot push the staging-copy blocking time past the bound.
   const std::uint64_t bytes = 1ull * kMiB;
-  auto file = h5::File::create(slow_backend(8.0 * kMiB));
+  auto file = h5::File::create(slow_backend(2.0 * kMiB));
   vol::AsyncConnector conn(file);
 
   class Capture : public vol::IoObserver {
@@ -171,8 +173,8 @@ TEST(ConsistencyTest, RealAsyncConnectorMatchesSimulatorPipelineShape) {
 
   ASSERT_EQ(capture->records.size(), 1u);
   const auto& r = capture->records[0];
-  // Blocking (staging memcpy) should be well under the ~0.125 s
-  // background transfer of 1 MiB at 8 MiB/s.
+  // Blocking (staging memcpy) should be well under the ~0.5 s
+  // background transfer of 1 MiB at 2 MiB/s.
   EXPECT_LT(r.blocking_seconds, 0.3 * r.completion_seconds);
 }
 
@@ -254,7 +256,12 @@ TEST(EndToEndTest, VpicThroughThrottledPfsShowsAsyncBandwidthAdvantage) {
   workloads::VpicParams params;
   params.particles_per_rank = 16 * 1024;  // 512 KiB/rank/step
   params.time_steps = 2;
-  const double pfs_bw = 32.0 * kMiB;
+  // Slow enough that the modelled transfer (128 ms/step) dominates the
+  // real-world noise on the async path (staging copies + thread
+  // wakeups, tens of ms under a parallel TSan run); at 32 MiB/s the
+  // 16 ms modelled sleep was comparable to that noise and the 2x
+  // margin flaked under load.
+  const double pfs_bw = 4.0 * kMiB;
 
   auto run_mode = [&](bool async) {
     auto file = h5::File::create(slow_backend(pfs_bw));

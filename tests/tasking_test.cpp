@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "tasking/eventual.h"
 #include "tasking/pool.h"
 #include "tasking/scheduler.h"
@@ -117,6 +118,27 @@ TEST(PoolTest, TryPushRejectsAfterCloseInsteadOfThrowing) {
   EXPECT_EQ(pool.accepted(), 1u);
   EXPECT_TRUE(pool.pop().has_value());  // the accepted task still drains
   EXPECT_FALSE(pool.pop().has_value());
+}
+
+// Metrics parity: pop() and try_pop() share one accounting path, so
+// mixed consumers can't under-count "tasking.pops" (or leave the
+// queue-depth gauge stale) depending on which entry point drained.
+TEST(PoolTest, PopAndTryPopShareMetricsAccounting) {
+  obs::Registry::instance().reset();
+  obs::set_enabled(true);
+  {
+    Pool pool;
+    pool.push([] {});
+    pool.push([] {});
+    EXPECT_TRUE(pool.try_pop().has_value());
+    EXPECT_TRUE(pool.pop().has_value());
+    EXPECT_EQ(pool.drained(), 2u);
+  }
+  const std::uint64_t pops =
+      obs::Registry::instance().snapshot().counter_total("tasking.pops");
+  obs::set_enabled(false);
+  obs::Registry::instance().reset();
+  EXPECT_EQ(pops, 2u);
 }
 
 TEST(PoolTest, PopDrainsAfterClose) {

@@ -7,7 +7,7 @@
 
 #include "common/error.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/async_connector.h"
 
 namespace apio::vol {
@@ -42,8 +42,7 @@ std::shared_ptr<AsyncConnector> make_slow_connector(double bandwidth,
   params.bandwidth = bandwidth;
   params.latency = latency;
   params.time_scale = 1.0;
-  auto backend = std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), params);
+  auto backend = storage::BackendStack::memory().throttled(params).build();
   auto file = h5::File::create(std::move(backend));
   return std::make_shared<AsyncConnector>(std::move(file));
 }
@@ -256,8 +255,7 @@ TEST(AsyncConnectorTest, BackpressureBoundsStagedBytes) {
   storage::ThrottleParams params;
   params.bandwidth = 4.0 * 1024 * 1024;
   params.time_scale = 1.0;
-  auto backend = std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), params);
+  auto backend = storage::BackendStack::memory().throttled(params).build();
   auto conn = std::make_shared<AsyncConnector>(h5::File::create(backend), options);
 
   auto ds = conn->file()->root().create_dataset("d", h5::Datatype::kUInt8,

@@ -6,7 +6,7 @@
 
 #include "common/error.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/async_connector.h"
 #include "vol/event_set.h"
 #include "vol/native_connector.h"
@@ -75,8 +75,7 @@ TEST(EventSetTest, TestReflectsInFlightWork) {
   storage::ThrottleParams throttle;
   throttle.bandwidth = 2.0 * 1024 * 1024;
   throttle.time_scale = 1.0;
-  auto backend = std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), throttle);
+  auto backend = storage::BackendStack::memory().throttled(throttle).build();
   auto conn = std::make_shared<AsyncConnector>(h5::File::create(backend));
   auto ds = conn->file()->root().create_dataset("d", h5::Datatype::kUInt8,
                                                 {512 * 1024});
@@ -182,8 +181,7 @@ TEST(SsdStagingTest, CallerBufferReusableImmediately) {
   storage::ThrottleParams throttle;
   throttle.bandwidth = 4.0 * 1024 * 1024;
   throttle.time_scale = 1.0;
-  auto pfs = std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), throttle);
+  auto pfs = storage::BackendStack::memory().throttled(throttle).build();
   auto conn = std::make_shared<AsyncConnector>(h5::File::create(pfs), options);
   auto ds = conn->file()->root().create_dataset("d", h5::Datatype::kInt32, {1024});
   std::vector<std::int32_t> buffer(1024);

@@ -4,8 +4,8 @@
 // for rules the compiler cannot enforce but the concurrency model
 // requires (DESIGN.md, "Concurrency model"):
 //
-//   raw-mutex     src/tasking, src/pmpi and src/vol must synchronise
-//                 through debug::RankedMutex so the global lock-rank
+//   raw-mutex     src/tasking, src/pmpi, src/vol and src/sched must
+//                 synchronise through debug::RankedMutex so the lock-rank
 //                 order is checked at runtime.  Raw std::mutex /
 //                 std::condition_variable (whose wait() forces a raw
 //                 std::mutex) are rejected; std::condition_variable_any
@@ -19,10 +19,6 @@
 //                 in per line with "apio-lint: allow(no-test-sleep)".
 //   pragma-once   every header under src/ uses #pragma once (the
 //                 include-guard style of this repo).
-//   set-observer  Connector::set_observer() is a deprecated single-slot
-//                 shim; new code subscribes with add_observer() so
-//                 multiple observers (model, trace, metrics) compose.
-//                 Only the shim's own definition carries a waiver.
 //   faulty-backend  storage::FaultyBackend is a test-only fault
 //                 injector; wiring it into library code under src/
 //                 (outside its own definition) would ship injected
@@ -87,7 +83,8 @@ bool path_under(const fs::path& file, const fs::path& dir) {
 void lint_file(const fs::path& root, const fs::path& file) {
   const bool in_ranked_scope = path_under(file, root / "src" / "tasking") ||
                                path_under(file, root / "src" / "pmpi") ||
-                               path_under(file, root / "src" / "vol");
+                               path_under(file, root / "src" / "vol") ||
+                               path_under(file, root / "src" / "sched");
   const bool in_tests = path_under(file, root / "tests");
   const bool in_src = path_under(file, root / "src");
   const bool is_faulty_backend_impl =
@@ -129,12 +126,6 @@ void lint_file(const fs::path& root, const fs::path& file) {
                "std::condition_variable waits on a raw std::mutex; use "
                "std::condition_variable_any with a RankedMutex");
       }
-    }
-
-    if (has_token(code, "set_observer") && !waived(raw, "set-observer")) {
-      report(sf.path, lineno, "set-observer",
-             "set_observer() is a deprecated single-slot shim that clears "
-             "the whole chain; subscribe with add_observer()");
     }
 
     if (in_src && !is_faulty_backend_impl && has_token(code, "FaultyBackend") &&

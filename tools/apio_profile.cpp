@@ -15,12 +15,16 @@
 //       byte-addressed; op order, sizes and inter-op gaps are preserved.
 //
 //   apio_profile run vpic [--ranks N] [--particles N] [--steps N]
-//                [--mode sync|async|adaptive] [--pfs-mibps N]
+//                [--mode sync|async|adaptive] [--pfs-mibps N] [--qos]
 //                [--chrome FILE]
 //       Runs the VPIC-IO checkpoint kernel over in-process MPI ranks
 //       with metrics + tracing on, then cross-checks the registry's
 //       byte counters against the connector's own AsyncStats and exits
-//       non-zero on disagreement.
+//       non-zero on disagreement.  --qos routes the PFS through a
+//       sched::FairScheduler admission gate and attributes the kernel
+//       to a "vpic" tenant; the report then includes a sched: block
+//       (per-tenant bytes/share, p99 submit->grant wait, deadline
+//       misses).
 //
 //   apio_profile analyze [--scenario ideal|partial|slowdown|all]
 //                [--ranks N] [--epochs N] [--bytes-mib N] [--pfs-mibps N]
@@ -52,8 +56,9 @@
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
 #include "obs/span.h"
+#include "sched/fair_scheduler.h"
 #include "storage/memory_backend.h"
-#include "storage/throttled_backend.h"
+#include "storage/backend_stack.h"
 #include "vol/adaptive_connector.h"
 #include "vol/async_connector.h"
 #include "vol/native_connector.h"
@@ -71,7 +76,8 @@ int usage(const char* argv0) {
                "       %s replay <trace.csv> [--mode sync|async] [--pfs-mibps N] "
                "[--chrome FILE]\n"
                "       %s run vpic [--ranks N] [--particles N] [--steps N] "
-               "[--mode sync|async|adaptive] [--pfs-mibps N] [--chrome FILE]\n"
+               "[--mode sync|async|adaptive] [--pfs-mibps N] [--qos] "
+               "[--chrome FILE]\n"
                "       %s analyze [--scenario ideal|partial|slowdown|all] "
                "[--ranks N] [--epochs N] [--bytes-mib N] [--pfs-mibps N] "
                "[--chrome FILE] [--max-drift PCT]\n",
@@ -87,13 +93,15 @@ std::string read_file(const char* path) {
   return buffer.str();
 }
 
-storage::BackendPtr make_pfs(double mibps) {
+storage::BackendPtr make_pfs(double mibps,
+                             sched::FairSchedulerPtr scheduler = nullptr) {
   storage::ThrottleParams params;
   params.bandwidth = mibps * kMiB;
   params.latency = 2e-3;
   params.time_scale = 1.0;
-  return std::make_shared<storage::ThrottledBackend>(
-      std::make_shared<storage::MemoryBackend>(), params);
+  auto stack = storage::BackendStack::memory().throttled(params);
+  if (scheduler != nullptr) stack.qos(scheduler);
+  return stack.build();
 }
 
 /// Turns the registry + tracer on and resets both, so one invocation's
@@ -148,10 +156,55 @@ void print_resilience_report(const obs::RegistrySnapshot& snap) {
   }
 }
 
+/// Multi-tenant QoS summary: per-tenant dispatched bytes and share of
+/// the channel, p99 submit->grant wait and deadline misses, from the
+/// sched.tenant.* metrics a FairScheduler records.  Printed only when
+/// one actually dispatched something, so non-QoS profiles stay
+/// unchanged.
+void print_sched_report(const obs::RegistrySnapshot& snap) {
+  const std::uint64_t dispatched = snap.counter_total("sched.dispatched");
+  if (dispatched == 0) return;
+
+  const std::uint64_t total_bytes = snap.counter_total("sched.dispatched_bytes");
+  std::printf("sched:\n");
+  std::printf("  dispatched %llu ops / %s (priority %llu, deadline misses %llu)\n",
+              static_cast<unsigned long long>(dispatched),
+              format_bytes(total_bytes).c_str(),
+              static_cast<unsigned long long>(
+                  snap.counter_total("sched.priority_dispatched")),
+              static_cast<unsigned long long>(
+                  snap.counter_total("sched.deadline_misses")));
+
+  const std::string prefix = "sched.tenant.";
+  const std::string suffix = ".dispatched_bytes";
+  for (const auto& [name, counter] : snap.counters) {
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string tenant =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    const double share =
+        total_bytes > 0 ? static_cast<double>(counter.total) /
+                              static_cast<double>(total_bytes)
+                        : 0.0;
+    double wait_p99 = 0.0;
+    auto hist = snap.histograms.find(prefix + tenant + ".wait_seconds");
+    if (hist != snap.histograms.end()) wait_p99 = hist->second.p99_seconds();
+    std::printf("  tenant %-12s %10s  share %5.1f%%  wait p99 %s  misses %llu\n",
+                tenant.c_str(), format_bytes(counter.total).c_str(),
+                100.0 * share, format_seconds(wait_p99).c_str(),
+                static_cast<unsigned long long>(
+                    snap.counter_total(prefix + tenant + ".deadline_misses")));
+  }
+}
+
 void print_observability_report() {
   const auto snap = obs::Registry::instance().snapshot();
   std::fputs(snap.summary().c_str(), stdout);
   print_resilience_report(snap);
+  print_sched_report(snap);
   std::fputs(obs::Tracer::instance().summary().c_str(), stdout);
 }
 
@@ -227,7 +280,7 @@ int cmd_replay(const vol::Trace& trace, const std::string& mode, double mibps,
 }
 
 int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
-                 const std::string& mode, double mibps,
+                 const std::string& mode, double mibps, bool qos,
                  const std::string& chrome_path) {
   workloads::VpicParams params;
   params.particles_per_rank = particles;
@@ -236,7 +289,15 @@ int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
   workloads::VpicIoKernel kernel(params);
 
   enable_observability();
-  auto file = h5::File::create(make_pfs(mibps));
+  // --qos interposes a FairScheduler in front of the throttled PFS and
+  // attributes the kernel's traffic to a "vpic" tenant, so the sched:
+  // block of the report (shares, waits, misses) is populated.
+  sched::FairSchedulerPtr scheduler;
+  if (qos) {
+    scheduler = std::make_shared<sched::FairScheduler>();
+    scheduler->register_tenant("vpic", 1.0);
+  }
+  auto file = h5::File::create(make_pfs(mibps, scheduler));
   std::shared_ptr<vol::Connector> connector;
   vol::AsyncConnector* async = nullptr;
   if (mode == "sync") {
@@ -244,7 +305,9 @@ int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
   } else if (mode == "adaptive") {
     connector = std::make_shared<vol::AdaptiveConnector>(file);
   } else {
-    auto a = std::make_shared<vol::AsyncConnector>(file);
+    vol::AsyncOptions options;
+    if (qos) options.tenant = "vpic";
+    auto a = std::make_shared<vol::AsyncConnector>(file, options);
     async = a.get();
     connector = std::move(a);
   }
@@ -435,6 +498,7 @@ int main(int argc, char** argv) {
   int epochs = 4;
   std::uint64_t bytes_mib = 16;
   double max_drift = 0.0;
+  bool qos = false;
 
   auto parse_flags = [&](int start) -> bool {
     for (int i = start; i < argc; ++i) {
@@ -483,6 +547,8 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return false;
         max_drift = std::atof(v);
+      } else if (flag == "--qos") {
+        qos = true;
       } else {
         std::fprintf(stderr, "apio_profile: unknown flag '%s'\n", flag.c_str());
         return false;
@@ -510,7 +576,8 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       if (ranks < 1 || steps < 1 || particles == 0) return usage(argv[0]);
-      return cmd_run_vpic(ranks, particles, steps, mode, mibps, chrome_path);
+      return cmd_run_vpic(ranks, particles, steps, mode, mibps, qos,
+                          chrome_path);
     }
     if (cmd == "analyze") {
       ranks = 2;
