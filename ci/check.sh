@@ -8,17 +8,20 @@
 #      archiving the machine-readable report to
 #      build/analysis-report.json (see DESIGN.md "Static analysis"),
 #   3. bench regression gate: the gated benches (fig3, fig7, the
-#      vectored-io ablation, the fig_fairshare fairness gate) re-emit
-#      their standardized result JSON and apio_bench_compare diffs it
-#      against the committed
+#      vectored-io ablation, the fig_fairshare fairness gate and the
+#      fig_trace_overhead tracing-cost gate) re-emit their standardized
+#      result JSON and apio_bench_compare diffs it against the committed
 #      bench/baselines/ (hard gate; regenerate intentional moves with
 #      ci/update_baselines.sh).  The sanitizer presets build with
 #      APIO_BUILD_BENCHMARKS=OFF, so sanitized runs never hit the gate.
-#   4. clang-tidy preset (skipped with a notice when clang-tidy is not
+#   4. trace artifacts: a small traced VPIC run through `apio_profile
+#      trace` archives build/trace-report.json (critical-path report)
+#      and build/trace-metrics.prom (Prometheus snapshot),
+#   5. clang-tidy preset (skipped with a notice when clang-tidy is not
 #      installed — the GCC-only CI image does not ship it),
-#   5. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
+#   6. ThreadSanitizer build + the `tsan`-labelled suite (the whole unit
 #      suite plus reduced-iteration stress tests; zero reports allowed),
-#   6. Address+UB-sanitizer build + the fault-matrix resilience suite:
+#   7. Address+UB-sanitizer build + the fault-matrix resilience suite:
 #      the retry/degraded-mode paths juggle staged buffers across the
 #      background stream, so they run under asan/ubsan explicitly.
 #
@@ -35,18 +38,18 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> [1/6] default build + full test suite"
+echo "==> [1/7] default build + full test suite"
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "==> [2/6] static analysis (apio_analyze)"
+echo "==> [2/7] static analysis (apio_analyze)"
 build/tools/apio_analyze . \
   --baseline tools/analysis/baseline.json \
   --json build/analysis-report.json
 echo "    report archived at build/analysis-report.json"
 
-echo "==> [3/6] bench regression gate"
+echo "==> [3/7] bench regression gate"
 BENCH_JSON_DIR="build/bench-json"
 rm -rf "${BENCH_JSON_DIR}"
 mkdir -p "${BENCH_JSON_DIR}"
@@ -61,14 +64,26 @@ APIO_BENCH_JSON="${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
 # tracks drift of the exported shares/waits.
 APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig_fairshare.jsonl" \
   build/bench/fig_fairshare >/dev/null
+# fig_trace_overhead hard-fails on its own if enabled causal tracing
+# costs more than 2% of async write wall time.
+APIO_BENCH_JSON="${BENCH_JSON_DIR}/fig_trace_overhead.jsonl" \
+  build/bench/fig_trace_overhead >/dev/null
 build/tools/apio_bench_compare \
   "${BENCH_JSON_DIR}/fig3_vpic_write.jsonl" \
   "${BENCH_JSON_DIR}/fig7_overlap.jsonl" \
   "${BENCH_JSON_DIR}/ablation_vectored_io.jsonl" \
   "${BENCH_JSON_DIR}/fig_fairshare.jsonl" \
+  "${BENCH_JSON_DIR}/fig_trace_overhead.jsonl" \
   --baselines bench/baselines --tol-det 10 --tol-wall 60
 
-echo "==> [4/6] clang-tidy"
+echo "==> [4/7] trace artifacts (apio_profile trace)"
+build/tools/apio_profile trace --ranks 4 --steps 2 \
+  --export-report build/trace-report.json \
+  --export-prom build/trace-metrics.prom >/dev/null
+echo "    critical-path report archived at build/trace-report.json"
+echo "    Prometheus snapshot archived at build/trace-metrics.prom"
+
+echo "==> [5/7] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --preset tidy
   cmake --build --preset tidy -j "${JOBS}"
@@ -77,15 +92,15 @@ else
 fi
 
 if [[ "${SKIP_TSAN}" -eq 1 ]]; then
-  echo "==> [5/6] ThreadSanitizer suite skipped (--skip-tsan)"
+  echo "==> [6/7] ThreadSanitizer suite skipped (--skip-tsan)"
 else
-  echo "==> [5/6] ThreadSanitizer build + tsan-labelled suite"
+  echo "==> [6/7] ThreadSanitizer build + tsan-labelled suite"
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}"
 fi
 
-echo "==> [6/6] asan-ubsan build + fault-matrix resilience suite"
+echo "==> [7/7] asan-ubsan build + fault-matrix resilience suite"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" -R 'Resilience|FaultInjection'

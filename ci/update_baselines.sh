@@ -17,7 +17,8 @@ if [[ ! -d "${BUILD}/bench" ]]; then
 fi
 
 mkdir -p bench/baselines
-for bench in fig3_vpic_write fig7_overlap ablation_vectored_io fig_fairshare; do
+for bench in fig3_vpic_write fig7_overlap ablation_vectored_io fig_fairshare \
+             fig_trace_overhead; do
   out="bench/baselines/${bench}.jsonl"
   rm -f "${out}"
   APIO_BENCH_JSON="${out}" "${BUILD}/bench/${bench}" >/dev/null

@@ -47,10 +47,17 @@ void CompositeObserver::refresh_flags_locked() {
 }
 
 void CompositeObserver::on_io(const IoRecord& record) {
-  // Emission holds the list guard: observers' on_io take only their own
-  // leaf locks and never call back into the composite, so no cycle.
-  std::lock_guard lock(mutex_);
-  for (const auto& o : observers_) o->on_io(record);
+  // Snapshot under the guard, dispatch outside it: a remove() racing
+  // this emission must not invalidate the iteration, and observer
+  // on_io bodies must not run under the list lock (an observer that
+  // blocks would otherwise stall add/remove).  The snapshot's
+  // shared_ptrs keep just-removed observers alive through the dispatch.
+  std::vector<IoObserverPtr> snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot = observers_;
+  }
+  for (const auto& o : snapshot) o->on_io(record);
 }
 
 }  // namespace apio::obs

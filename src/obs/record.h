@@ -58,6 +58,10 @@ struct IoRecord {
   bool async = false;
   /// True when a read was served from the prefetch cache.
   bool cache_hit = false;
+  /// Causal trace identity (obs::trace) of the request that produced
+  /// this record; 0 when tracing was off at issue time.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// Observer interface; implementations must be thread-safe (async
@@ -79,9 +83,11 @@ using IoObserverPtr = std::shared_ptr<IoObserver>;
 /// redesign that replaces the single Connector::set_observer() slot:
 /// connectors own one CompositeObserver and expose add_observer().
 ///
-/// Thread-safe: observers may be added/removed while records flow (the
-/// list is guarded; emission iterates under the guard, which is fine
-/// because records are emitted at I/O-operation granularity).
+/// Thread-safe: observers may be added/removed while records flow.
+/// Emission dispatches against a snapshot taken under the guard, so a
+/// concurrent remove() never invalidates the iteration; the shared_ptr
+/// keeps a just-removed observer alive for at most one in-flight
+/// record, which removers must tolerate (or drain the connector first).
 class CompositeObserver final : public IoObserver {
  public:
   void add(IoObserverPtr observer);

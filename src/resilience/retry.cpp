@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace apio::resilience {
 namespace {
@@ -164,7 +165,10 @@ bool RetrySession::backoff_and_retry(const std::exception_ptr& error) {
     backoff_hist().record_seconds(backoff);
   }
   backoff_total_ += backoff;
-  sleeper_->sleep(backoff);
+  {
+    obs::trace::ScopedPhase backoff_span(obs::trace::Phase::kBackoff);
+    sleeper_->sleep(backoff);
+  }
   return true;
 }
 

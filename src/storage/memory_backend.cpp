@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace_context.h"
 #include "storage/obs_metrics.h"
 
 namespace apio::storage {
@@ -19,6 +20,8 @@ void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> out) {
   APIO_INVARIANT(offset + out.size() >= offset, "read range overflows offset space");
   obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
                   &storage_bytes_read(), out.size());
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, out.size(),
+                               "memory");
   std::lock_guard lock(mutex_);
   if (offset + out.size() > data_.size()) {
     throw IoError("memory backend: read past end of object (offset " +
@@ -33,6 +36,8 @@ void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> data)
   APIO_INVARIANT(offset + data.size() >= offset, "write range overflows offset space");
   obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
                   &storage_bytes_written(), data.size());
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, data.size(),
+                               "memory");
   std::lock_guard lock(mutex_);
   const std::uint64_t end = offset + data.size();
   if (end > data_.size()) data_.resize(end);
@@ -52,6 +57,7 @@ std::uint64_t MemoryBackend::write_v(std::span<const WriteExtent> extents) {
   }
   obs::TimedOp op("storage.write", obs::Category::kStorage, storage_write_hist(),
                   &storage_bytes_written(), total);
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, total, "memory");
   std::lock_guard lock(mutex_);
   if (max_end > data_.size()) data_.resize(max_end);
   for (const auto& e : extents) {
@@ -67,6 +73,7 @@ std::uint64_t MemoryBackend::read_v(std::span<const ReadExtent> extents) {
   for (const auto& e : extents) total += e.out.size();
   obs::TimedOp op("storage.read", obs::Category::kStorage, storage_read_hist(),
                   &storage_bytes_read(), total);
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, total, "memory");
   std::lock_guard lock(mutex_);
   for (const auto& e : extents) {
     APIO_INVARIANT(e.offset + e.out.size() >= e.offset,

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/trace_context.h"
 
 namespace apio::storage {
 
@@ -10,10 +11,15 @@ namespace {
 
 /// Holds one admission grant for the duration of the inner transfer;
 /// releases the channel slot on every exit path, including throws.
+/// The time blocked inside admit() is the queue-wait phase of the
+/// bound request's trace.
 class Admission {
  public:
   Admission(sched::FairScheduler& scheduler, const sched::IoRequest& request)
-      : scheduler_(scheduler), ticket_(scheduler.admit(request)) {}
+      : scheduler_(scheduler) {
+    obs::trace::ScopedPhase wait(obs::trace::Phase::kQueueWait, request.bytes);
+    ticket_ = scheduler_.admit(request);
+  }
   ~Admission() { scheduler_.complete(ticket_); }
 
   Admission(const Admission&) = delete;
@@ -52,11 +58,13 @@ sched::IoRequest QosBackend::request_for(obs::IoOp op,
 
 void QosBackend::read(std::uint64_t offset, std::span<std::byte> out) {
   Admission grant(*scheduler_, request_for(obs::IoOp::kRead, out.size()));
+  obs::trace::ScopedPhase held(obs::trace::Phase::kAdmission, out.size());
   inner_->read(offset, out);
 }
 
 void QosBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
   Admission grant(*scheduler_, request_for(obs::IoOp::kWrite, data.size()));
+  obs::trace::ScopedPhase held(obs::trace::Phase::kAdmission, data.size());
   inner_->write(offset, data);
 }
 
@@ -65,6 +73,7 @@ std::uint64_t QosBackend::write_v(std::span<const WriteExtent> extents) {
       extents.begin(), extents.end(), std::uint64_t{0},
       [](std::uint64_t n, const WriteExtent& e) { return n + e.data.size(); });
   Admission grant(*scheduler_, request_for(obs::IoOp::kWrite, total));
+  obs::trace::ScopedPhase held(obs::trace::Phase::kAdmission, total);
   return inner_->write_v(extents);
 }
 
@@ -73,11 +82,13 @@ std::uint64_t QosBackend::read_v(std::span<const ReadExtent> extents) {
       extents.begin(), extents.end(), std::uint64_t{0},
       [](std::uint64_t n, const ReadExtent& e) { return n + e.out.size(); });
   Admission grant(*scheduler_, request_for(obs::IoOp::kRead, total));
+  obs::trace::ScopedPhase held(obs::trace::Phase::kAdmission, total);
   return inner_->read_v(extents);
 }
 
 void QosBackend::flush() {
   Admission grant(*scheduler_, request_for(obs::IoOp::kFlush, 0));
+  obs::trace::ScopedPhase held(obs::trace::Phase::kAdmission);
   inner_->flush();
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace apio::storage {
 namespace {
@@ -47,12 +48,16 @@ void ResilientBackend::run(Fn&& fn) {
 }
 
 void ResilientBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, out.size(),
+                               "resilient");
   run([&] { inner_->read(offset, out); });
   count_read(out.size());
 }
 
 void ResilientBackend::write(std::uint64_t offset,
                              std::span<const std::byte> data) {
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, data.size(),
+                               "resilient");
   run([&] { inner_->write(offset, data); });
   count_write(data.size());
 }

@@ -5,6 +5,7 @@
 
 #include "common/debug/invariant.h"
 #include "common/error.h"
+#include "obs/trace_context.h"
 
 namespace apio::storage {
 namespace {
@@ -59,12 +60,16 @@ void ThrottledBackend::throttle(std::uint64_t bytes) {
 }
 
 void ThrottledBackend::read(std::uint64_t offset, std::span<std::byte> out) {
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, out.size(),
+                               "throttled");
   throttle(out.size());
   inner_->read(offset, out);
   count_read(out.size());
 }
 
 void ThrottledBackend::write(std::uint64_t offset, std::span<const std::byte> data) {
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, data.size(),
+                               "throttled");
   throttle(data.size());
   inner_->write(offset, data);
   count_write(data.size());
@@ -73,6 +78,7 @@ void ThrottledBackend::write(std::uint64_t offset, std::span<const std::byte> da
 std::uint64_t ThrottledBackend::write_v(std::span<const WriteExtent> extents) {
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.data.size();
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, total, "throttled");
   throttle(total);
   const std::uint64_t moved = inner_->write_v(extents);
   count_write(moved);
@@ -82,6 +88,7 @@ std::uint64_t ThrottledBackend::write_v(std::span<const WriteExtent> extents) {
 std::uint64_t ThrottledBackend::read_v(std::span<const ReadExtent> extents) {
   std::uint64_t total = 0;
   for (const auto& e : extents) total += e.out.size();
+  obs::trace::ScopedPhase span(obs::trace::Phase::kBackend, total, "throttled");
   throttle(total);
   const std::uint64_t moved = inner_->read_v(extents);
   count_read(moved);

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace_context.h"
 #include "vol/selection_token.h"
 
 namespace apio::vol {
@@ -113,7 +114,29 @@ struct AsyncConnector::AsyncOp {
   std::unique_ptr<resilience::RetrySession> session;
   /// Observer record emission; run on final success only.
   std::function<void()> on_complete;
+
+  /// Causal trace identity, minted at submission; re-bound alongside
+  /// the submission context around every attempt.
+  obs::trace::TraceContext trace;
+  double trace_start = 0.0;       ///< root span start (steady_seconds)
+  double fifo_enqueue_time = 0.0; ///< FIFO-wait phase anchor
+  double pool_push_time = 0.0;    ///< pool-wait phase anchor
 };
+
+/// Records the completion phase and seals the op's trace.  Must run
+/// before the eventual fires so waiters observe a sealed trace.
+void AsyncConnector::seal_trace(const AsyncOp& op, bool failed,
+                                double completion_start) {
+  if (!op.trace.recording()) return;
+  const double now = obs::steady_seconds();
+  obs::trace::record_phase(op.trace, obs::trace::Phase::kComplete,
+                           completion_start, now - completion_start);
+  obs::trace::TraceCollector::instance().complete(
+      op.trace, op.kind,
+      op.submission.tenant.empty() ? sched::kDefaultTenant
+                                   : op.submission.tenant,
+      op.bytes, failed, op.trace_start, now);
+}
 
 AsyncConnector::AsyncConnector(h5::FilePtr file, AsyncOptions options,
                                const Clock* clock)
@@ -178,6 +201,8 @@ void AsyncConnector::enqueue_op(std::shared_ptr<AsyncOp> op) {
                                   : &resilience::wall_sleeper(),
       options_.breaker.get());
 
+  op->fifo_enqueue_time = obs::steady_seconds();
+
   std::lock_guard lock(order_mutex_);
   tasking::EventualPtr prev = last_op_;
   last_op_ = op->done;
@@ -186,6 +211,10 @@ void AsyncConnector::enqueue_op(std::shared_ptr<AsyncOp> op) {
   // failure does not cancel successors — the async VOL records errors
   // per operation, it does not poison the queue.
   prev->on_ready([this, op = std::move(op)]() mutable {
+    op->pool_push_time = obs::steady_seconds();
+    obs::trace::record_phase(op->trace, obs::trace::Phase::kFifoWait,
+                             op->fifo_enqueue_time,
+                             op->pool_push_time - op->fifo_enqueue_time);
     if (!pool_->try_push([this, op] { run_attempt(op); })) {
       finish_failure(op, std::make_exception_ptr(StateError(
                              "async operation dropped: connector shut down")));
@@ -227,9 +256,21 @@ void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
   // transfer AND sync-fallback replay) so QosBackend admission charges
   // the right tenant.
   sched::ScopedSubmission bind(op->submission);
+  // Re-bind the trace next to the submission identity and close the
+  // pool-wait gap (push time -> this pickup).
+  obs::trace::ScopedTraceContext trace_bind(op->trace);
+  if (op->pool_push_time > 0.0) {
+    const double picked_up = obs::steady_seconds();
+    obs::trace::record_phase(op->trace, obs::trace::Phase::kPoolWait,
+                             op->pool_push_time,
+                             picked_up - op->pool_push_time);
+    op->pool_push_time = 0.0;
+  }
   try {
+    obs::trace::ScopedPhase attempt(obs::trace::Phase::kAttempt, op->bytes);
     op->session->check_breaker();
     execute_op(*op);
+    attempt.finish();
     op->session->note_success();
     finish_success(op);
     return;
@@ -238,6 +279,7 @@ void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
     if (op->session->backoff_and_retry(error)) {
       // Re-enqueue the same op; when the pool closed under us (shutdown
       // racing a retry) fail the request instead of wedging the drain.
+      op->pool_push_time = obs::steady_seconds();
       if (pool_->try_push([this, op] { run_attempt(op); })) return;
       error = std::make_exception_ptr(
           StateError("async retry abandoned: connector shut down"));
@@ -248,6 +290,8 @@ void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
         // Degraded mode: replay the staged buffer through the native
         // synchronous path, outside policy and breaker — the last
         // resort before reporting data loss.
+        obs::trace::ScopedPhase fallback(obs::trace::Phase::kFallback,
+                                         op->bytes);
         if (options_.staging_backend) {
           std::vector<std::byte> from_device(op->bytes);
           options_.staging_backend->read(op->device_offset, from_device);
@@ -255,6 +299,7 @@ void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
         } else {
           op->ds->write_raw(op->selection, *op->staged);
         }
+        fallback.finish();
         op->outcome->degraded = true;
         finish_success(op);
         return;
@@ -267,6 +312,7 @@ void AsyncConnector::run_attempt(const std::shared_ptr<AsyncOp>& op) {
 }
 
 void AsyncConnector::finish_success(const std::shared_ptr<AsyncOp>& op) {
+  const double completion_start = obs::steady_seconds();
   // The outcome must be fully written before the eventual completes:
   // completion is the release point observers synchronize on.
   op->outcome->attempts = std::max(op->session->attempts(), 1);
@@ -290,11 +336,13 @@ void AsyncConnector::finish_success(const std::shared_ptr<AsyncOp>& op) {
     if (op->outcome->degraded) ++stats_.degraded_ops;
   }
   if (op->on_complete) op->on_complete();
+  seal_trace(*op, /*failed=*/false, completion_start);
   op->done->set();
 }
 
 void AsyncConnector::finish_failure(const std::shared_ptr<AsyncOp>& op,
                                     std::exception_ptr error) {
+  const double completion_start = obs::steady_seconds();
   op->outcome->attempts = std::max(op->session->attempts(), 1);
   op->outcome->deadline_exhausted = op->session->deadline_exhausted();
   const std::uint64_t retries =
@@ -312,6 +360,7 @@ void AsyncConnector::finish_failure(const std::shared_ptr<AsyncOp>& op,
     stats_.retries += retries;
     ++stats_.failed_ops;
   }
+  seal_trace(*op, /*failed=*/true, completion_start);
   op->done->set_error(std::move(error));
 }
 
@@ -319,6 +368,12 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
                                          const h5::Selection& selection,
                                          std::span<const std::byte> data) {
   const double t0 = clock_->now();
+  auto op = std::make_shared<AsyncOp>();
+  op->trace = obs::trace::TraceCollector::instance().start_trace();
+  op->trace_start = obs::steady_seconds();
+  obs::trace::ScopedTraceContext trace_bind(op->trace);
+  obs::trace::ScopedPhase submit_phase(obs::trace::Phase::kSubmit,
+                                       data.size());
 
   // The transactional copy: a non-zero-copy into a private staging area
   // so the caller may immediately reuse (or mutate) its memory while
@@ -326,12 +381,13 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
   // staging area is either a DRAM buffer or, when configured, a
   // node-local staging device (SSD) region.
   note_staged(data.size());
-  auto op = std::make_shared<AsyncOp>();
   op->kind = obs::IoOp::kWrite;
   op->ds = ds;
   op->selection = selection;
   op->bytes = data.size();
   {
+    obs::trace::ScopedPhase stage_span(obs::trace::Phase::kStageCopy,
+                                       data.size());
     obs::TimedOp stage_op("stage_copy", obs::Category::kVol, stage_hist(),
                           &staged_bytes_counter(), data.size());
     if (options_.staging_backend) {
@@ -358,7 +414,9 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
                        ranks = reported_ranks(),
                        origin_rank = obs::thread_rank(),
                        path = op->info.dataset_path,
-                       token = op->info.selection] {
+                       token = op->info.selection,
+                       trace_id = op->trace.trace_id,
+                       span_id = op->trace.span_id] {
       IoRecord record;
       record.op = IoOp::kWrite;
       record.dataset_path = path;
@@ -370,6 +428,8 @@ RequestPtr AsyncConnector::dataset_write(h5::Dataset ds,
       record.blocking_seconds = blocking;
       record.completion_seconds = clock_->now() - t0;
       record.async = true;
+      record.trace_id = trace_id;
+      record.span_id = span_id;
       observe(record);
     };
   }
@@ -444,6 +504,10 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
 
   if (obs::enabled()) prefetch_misses_counter().increment();
   auto op = std::make_shared<AsyncOp>();
+  op->trace = obs::trace::TraceCollector::instance().start_trace();
+  op->trace_start = obs::steady_seconds();
+  obs::trace::ScopedTraceContext trace_bind(op->trace);
+  obs::trace::ScopedPhase submit_phase(obs::trace::Phase::kSubmit, out.size());
   op->kind = obs::IoOp::kRead;
   op->ds = ds;
   op->selection = selection;
@@ -459,7 +523,9 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
     op->on_complete = [this, t0, bytes = out.size(), ranks = reported_ranks(),
                        origin_rank = obs::thread_rank(),
                        path = op->info.dataset_path,
-                       token = op->info.selection] {
+                       token = op->info.selection,
+                       trace_id = op->trace.trace_id,
+                       span_id = op->trace.span_id] {
       IoRecord record;
       record.op = IoOp::kRead;
       record.dataset_path = path;
@@ -471,6 +537,8 @@ RequestPtr AsyncConnector::dataset_read(h5::Dataset ds,
       record.blocking_seconds = 0.0;  // caller was not blocked
       record.completion_seconds = clock_->now() - t0;
       record.async = true;
+      record.trace_id = trace_id;
+      record.span_id = span_id;
       observe(record);
     };
   }
@@ -495,6 +563,10 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
   }
   const std::uint64_t bytes = selection.npoints(ds.dims()) * ds.element_size();
   auto op = std::make_shared<AsyncOp>();
+  op->trace = obs::trace::TraceCollector::instance().start_trace();
+  op->trace_start = obs::steady_seconds();
+  obs::trace::ScopedTraceContext trace_bind(op->trace);
+  obs::trace::ScopedPhase submit_phase(obs::trace::Phase::kSubmit, bytes);
   op->kind = obs::IoOp::kPrefetch;
   op->ds = ds;
   op->selection = selection;
@@ -534,14 +606,22 @@ void AsyncConnector::prefetch(h5::Dataset ds, const h5::Selection& selection) {
 RequestPtr AsyncConnector::flush() {
   const double t0 = clock_->now();
   auto op = std::make_shared<AsyncOp>();
+  op->trace = obs::trace::TraceCollector::instance().start_trace();
+  op->trace_start = obs::steady_seconds();
+  obs::trace::ScopedTraceContext trace_bind(op->trace);
+  obs::trace::ScopedPhase submit_phase(obs::trace::Phase::kSubmit);
   op->kind = obs::IoOp::kFlush;
   op->info.op = obs::IoOp::kFlush;
 
   if (has_observers()) {
     op->on_complete = [this, t0, ranks = reported_ranks(),
-                       origin_rank = obs::thread_rank()] {
+                       origin_rank = obs::thread_rank(),
+                       trace_id = op->trace.trace_id,
+                       span_id = op->trace.span_id] {
       IoRecord record;
       record.op = IoOp::kFlush;
+      record.trace_id = trace_id;
+      record.span_id = span_id;
       record.ranks = ranks;
       record.origin_rank = origin_rank;
       record.issue_time = t0;

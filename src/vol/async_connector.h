@@ -188,6 +188,11 @@ class AsyncConnector final : public Connector {
   void finish_failure(const std::shared_ptr<AsyncOp>& op,
                       std::exception_ptr error);
 
+  /// Records the completion phase and seals the op's trace (runs before
+  /// the eventual fires so waiters observe a sealed trace).
+  static void seal_trace(const AsyncOp& op, bool failed,
+                         double completion_start);
+
   /// Drains and joins the background machinery without closing the file.
   void shutdown_machinery();
 

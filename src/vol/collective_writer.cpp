@@ -6,6 +6,9 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_context.h"
+#include "sched/io_request.h"
 
 namespace apio::vol {
 namespace {
@@ -30,6 +33,10 @@ struct Piece {
   std::uint64_t payload_offset = 0;
   /// Index of the extent in the source rank's submitted list.
   std::size_t extent_index = 0;
+  /// Source rank's collective trace identity, piggybacked on the
+  /// allgathered headers (0 when the source is untraced/unsampled).
+  std::uint64_t source_trace_id = 0;
+  std::uint64_t source_span_id = 0;
 };
 
 }  // namespace
@@ -57,13 +64,39 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
   WallClock clock;
   const double t0 = clock.now();
 
+  // This rank's collective trace: the exchange phases record against
+  // it, and its identity rides the allgathered headers so aggregators
+  // can attribute remote writes back to the contributing rank's trace.
+  auto& collector = obs::trace::TraceCollector::instance();
+  const obs::trace::TraceContext rank_trace = collector.start_trace();
+  obs::trace::ScopedTraceContext trace_bind(rank_trace);
+  const double rank_trace_start = obs::steady_seconds();
+  std::uint64_t my_bytes = 0;
+  for (const auto& e : extents) my_bytes += e.data.size();
+  const auto seal_rank_trace = [&] {
+    if (!rank_trace.recording()) return;
+    const sched::SubmissionContext* sub = sched::current_submission();
+    collector.complete(rank_trace, obs::IoOp::kWrite,
+                       sub != nullptr && !sub->tenant.empty()
+                           ? sub->tenant
+                           : sched::kDefaultTenant,
+                       my_bytes, /*failed=*/false, rank_trace_start,
+                       obs::steady_seconds());
+  };
+
   // Phase 0: allgather extent headers so every rank knows the complete
-  // access pattern.  Header stream per rank: (elem_offset, bytes) pairs.
+  // access pattern.  Header stream per rank: (elem_offset, bytes,
+  // trace_id, root_span_id) quads — the trace fields are the cross-rank
+  // context propagation, zero when the source is untraced.
+  obs::trace::ScopedPhase exchange_span(obs::trace::Phase::kExchange,
+                                        my_bytes);
   std::vector<std::uint64_t> my_headers;
-  my_headers.reserve(extents.size() * 2);
+  my_headers.reserve(extents.size() * 4);
   for (const auto& e : extents) {
     my_headers.push_back(e.elem_offset);
     my_headers.push_back(e.data.size());
+    my_headers.push_back(rank_trace.recording() ? rank_trace.trace_id : 0);
+    my_headers.push_back(rank_trace.recording() ? rank_trace.span_id : 0);
   }
   const auto gathered = comm.allgather_bytes(std::as_bytes(std::span<const std::uint64_t>(my_headers)));
 
@@ -75,7 +108,7 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
     auto& h = all_headers[static_cast<std::size_t>(r)];
     h.resize(raw.size() / sizeof(std::uint64_t));
     if (!raw.empty()) std::memcpy(h.data(), raw.data(), raw.size());
-    for (std::size_t i = 0; i + 1 < h.size(); i += 2) {
+    for (std::size_t i = 0; i + 3 < h.size(); i += 4) {
       lo = std::min(lo, h[i]);
       hi = std::max(hi, h[i] + h[i + 1] / elsize);
     }
@@ -84,6 +117,8 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
   CollectiveWriteResult result;
   if (hi <= lo) {
     // Nothing selected anywhere; the allgather already synchronised.
+    exchange_span.finish();
+    seal_rank_trace();
     return result;
   }
 
@@ -121,7 +156,7 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
   std::vector<Piece> pieces;
   for (int r = 0; r < size; ++r) {
     const auto& h = all_headers[static_cast<std::size_t>(r)];
-    for (std::size_t i = 0; i + 1 < h.size(); i += 2) {
+    for (std::size_t i = 0; i + 3 < h.size(); i += 4) {
       std::uint64_t off = h[i];
       std::uint64_t elems_left = h[i + 1] / elsize;
       std::uint64_t payload_off = 0;
@@ -136,7 +171,9 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
         p.elem_offset = off;
         p.bytes = take * elsize;
         p.payload_offset = payload_off;
-        p.extent_index = i / 2;
+        p.extent_index = i / 4;
+        p.source_trace_id = h[i + 2];
+        p.source_span_id = h[i + 3];
         pieces.push_back(p);
         off += take;
         payload_off += take * elsize;
@@ -165,6 +202,9 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
     struct Received {
       std::uint64_t elem_offset;
       std::vector<std::byte> bytes;
+      std::uint64_t piece_bytes;  ///< bytes.size() survives the merge move
+      std::uint64_t source_trace_id;
+      std::uint64_t source_span_id;
     };
     std::vector<Received> mine;
     for (const auto& p : pieces) {
@@ -173,6 +213,9 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
       rec.elem_offset = p.elem_offset;
       rec.bytes = comm.recv_bytes(p.source, kTagPayload);
       APIO_ASSERT(rec.bytes.size() == p.bytes, "collective piece size mismatch");
+      rec.piece_bytes = p.bytes;
+      rec.source_trace_id = p.source_trace_id;
+      rec.source_span_id = p.source_span_id;
       mine.push_back(std::move(rec));
       ++local_received;
       local_bytes += p.bytes;
@@ -181,12 +224,14 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
       return a.elem_offset < b.elem_offset;
     });
     if (obs::enabled()) aggregated_bytes_counter().add(local_bytes);
+    exchange_span.finish();
 
     std::vector<RequestPtr> waited;
     std::vector<RequestPtr>& requests = outstanding != nullptr ? *outstanding : waited;
     std::size_t i = 0;
     while (i < mine.size()) {
       const std::uint64_t run_start = mine[i].elem_offset;
+      const std::size_t run_first = i;
       std::vector<std::byte> merged = std::move(mine[i].bytes);
       std::size_t j = i + 1;
       while (j < mine.size() &&
@@ -194,14 +239,44 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
         merged.insert(merged.end(), mine[j].bytes.begin(), mine[j].bytes.end());
         ++j;
       }
-      requests.push_back(connector.dataset_write(
-          ds, h5::Selection::offsets({run_start}, {merged.size() / elsize}), merged));
+      {
+        // Issue the merged write under the first contributor's context
+        // (reconstructed from the wire — the sanctioned cross-rank
+        // re-binding) so the minted request trace carries a causal
+        // parent link back to the contributing rank's collective trace.
+        const obs::trace::TraceContext issuer{  // apio-lint: allow(trace-phase)
+            mine[run_first].source_trace_id, mine[run_first].source_span_id,
+            mine[run_first].source_trace_id != 0};
+        obs::trace::ScopedTraceContext issue_bind(issuer);
+        const double w0 = obs::steady_seconds();
+        requests.push_back(connector.dataset_write(
+            ds, h5::Selection::offsets({run_start}, {merged.size() / elsize}),
+            merged));
+        const double w1 = obs::steady_seconds();
+        // Attribute the issue to every contributor of the merged run.
+        for (std::size_t k = run_first; k < j; ++k) {
+          if (mine[k].source_trace_id == 0) continue;
+          const obs::trace::TraceContext src{  // apio-lint: allow(trace-phase)
+              mine[k].source_trace_id, mine[k].source_span_id, true};
+          obs::trace::TraceSpan span;
+          span.span_id = collector.new_span_id(src);
+          span.parent_span_id = mine[k].source_span_id;
+          span.phase = obs::trace::Phase::kRemoteWrite;
+          span.start_seconds = w0;
+          span.duration_seconds = w1 - w0;
+          span.bytes = mine[k].piece_bytes;
+          span.rank = obs::thread_rank();
+          span.detail = "aggregator rank " + std::to_string(rank);
+          collector.record(mine[k].source_trace_id, std::move(span));
+        }
+      }
       ++local_requests;
       i = j;
     }
     for (auto& req : waited) req->wait();
   }
 
+  exchange_span.finish();
   const double blocking = clock.now() - t0;
   comm.barrier();
 
@@ -209,6 +284,7 @@ CollectiveWriteResult collective_write(Connector& connector, pmpi::Communicator&
   result.requests_issued = comm.allreduce_sum(local_requests);
   result.extents_received = comm.allreduce_sum(local_received);
   result.total_bytes = comm.allreduce_sum(local_bytes);
+  seal_rank_trace();
   return result;
 }
 

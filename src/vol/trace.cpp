@@ -93,7 +93,7 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& csv) {
 void Trace::append(TraceEvent event) { events_.push_back(std::move(event)); }
 
 std::string Trace::to_csv() const {
-  std::string out = "kind,path,selection,bytes,issue_time,blocking\n";
+  std::string out = "kind,path,selection,bytes,issue_time,blocking,trace_id,span_id\n";
   std::ostringstream num;
   for (const auto& e : events_) {
     out += std::to_string(static_cast<int>(e.kind));
@@ -104,8 +104,13 @@ std::string Trace::to_csv() const {
     out += ',';
     out += std::to_string(e.bytes);
     num.str("");
-    num << ',' << e.issue_time << ',' << e.blocking_seconds << '\n';
+    num << ',' << e.issue_time << ',' << e.blocking_seconds;
     out += num.str();
+    out += ',';
+    out += std::to_string(e.trace_id);
+    out += ',';
+    out += std::to_string(e.span_id);
+    out += '\n';
   }
   return out;
 }
@@ -116,7 +121,8 @@ Trace Trace::from_csv(const std::string& csv) {
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const auto& fields = rows[r];
     if (r == 0 && !fields.empty() && fields[0] == "kind") continue;  // header
-    if (fields.size() != 6) {
+    // 6 columns is the legacy pre-trace-id layout; 8 is current.
+    if (fields.size() != 6 && fields.size() != 8) {
       throw FormatError("malformed trace row with " +
                         std::to_string(fields.size()) + " fields");
     }
@@ -131,6 +137,10 @@ Trace Trace::from_csv(const std::string& csv) {
     e.bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
     e.issue_time = std::atof(fields[4].c_str());
     e.blocking_seconds = std::atof(fields[5].c_str());
+    if (fields.size() == 8) {
+      e.trace_id = std::strtoull(fields[6].c_str(), nullptr, 10);
+      e.span_id = std::strtoull(fields[7].c_str(), nullptr, 10);
+    }
     trace.append(std::move(e));
   }
   return trace;
@@ -155,6 +165,8 @@ class TraceRecorder::Sink final : public IoObserver {
     event.bytes = record.bytes;
     event.issue_time = record.issue_time;
     event.blocking_seconds = record.blocking_seconds;
+    event.trace_id = record.trace_id;
+    event.span_id = record.span_id;
     std::lock_guard lock(mutex_);
     events_.push_back(std::move(event));
   }

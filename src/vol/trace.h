@@ -34,6 +34,10 @@ struct TraceEvent {
   double issue_time = 0.0;
   /// Caller-visible blocking duration of the call.
   double blocking_seconds = 0.0;
+  /// Causal trace identity (obs::trace), carried through from the
+  /// IoRecord stream; 0 when tracing was off when the op ran.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// An ordered trace with CSV persistence.
@@ -43,11 +47,13 @@ class Trace {
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
 
-  /// CSV: kind,path,selection,bytes,issue_time,blocking
+  /// CSV: kind,path,selection,bytes,issue_time,blocking,trace_id,span_id
   /// Selections serialise as "all" or "start0xstart1:count0xcount1".
   /// Paths containing commas, quotes or newlines are RFC4180-quoted
   /// (embedded quotes doubled); from_csv understands quoted fields and
   /// throws FormatError on unterminated quotes or malformed rows.
+  /// Legacy 6-column rows (pre trace-id) parse with both ids zero;
+  /// any other column count is malformed.
   std::string to_csv() const;
   static Trace from_csv(const std::string& csv);
 

@@ -4,6 +4,7 @@
 // against connector statistics under multi-threaded load.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
@@ -468,6 +469,36 @@ TEST(CompositeObserverTest, AddRemoveObserversOnConnector) {
   conn.dataset_write(ds, h5::Selection::all(),
                      std::as_bytes(std::span<const std::uint8_t>(data)));
   EXPECT_EQ(second->count(), 1u);
+}
+
+// Regression (TSan-visible): dispatch used to iterate observers_ while
+// holding the chain's mutex released — a concurrent remove() could
+// invalidate the iterator mid-fan-out.  on_io now snapshots the chain
+// under the lock and dispatches on the copy, so add/remove/clear may
+// race freely with dispatch; an observer may receive at most one
+// in-flight record after its remove() returns, never a torn read.
+TEST(CompositeObserverTest, AddRemoveRacingDispatchHammer) {
+  CompositeObserver composite;
+  IoRecord record;
+  record.op = IoOp::kWrite;
+  record.bytes = 1;
+
+  std::atomic<bool> stop{false};
+  std::thread dispatcher([&] {
+    while (!stop.load(std::memory_order_relaxed)) composite.on_io(record);
+  });
+  std::thread churner([&] {
+    for (int i = 0; i < 2000; ++i) {
+      auto probe = std::make_shared<Probe>();
+      composite.add(probe);
+      composite.remove(probe);
+      if (i % 64 == 0) composite.clear();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  churner.join();
+  dispatcher.join();
+  EXPECT_TRUE(composite.empty());
 }
 
 TEST(MetricsObserverTest, RoutesOpsToRegistryCounters) {

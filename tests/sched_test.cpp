@@ -16,10 +16,13 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/units.h"
 #include "h5/file.h"
+#include "obs/metrics.h"
 #include "resilience/retry.h"
 #include "sched/fair_scheduler.h"
 #include "sched/io_request.h"
+#include "sched/report.h"
 #include "storage/backend_stack.h"
 #include "storage/memory_backend.h"
 #include "storage/qos_backend.h"
@@ -339,6 +342,50 @@ TEST(ScopedSubmissionTest, BindsNestsAndRestores) {
     EXPECT_EQ(current_submission()->tenant, "alpha");
   }
   EXPECT_EQ(current_submission(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// render_sched_report: the shared `sched:` block (apio_profile + tests).
+
+TEST(SchedReportTest, EmptyWhenNothingDispatched) {
+  obs::Registry::instance().reset();
+  EXPECT_TRUE(render_sched_report(obs::Registry::instance().snapshot()).empty());
+}
+
+TEST(SchedReportTest, RendersPerTenantWaitPercentilesAndMisses) {
+  auto& registry = obs::Registry::instance();
+  registry.reset();
+  obs::set_enabled(true);
+  registry.counter("sched.dispatched").add(6);
+  registry.counter("sched.dispatched_bytes").add(1024);
+  registry.counter("sched.tenant.alpha.dispatched_bytes").add(768);
+  registry.counter("sched.tenant.alpha.deadline_misses").add(2);
+  registry.counter("sched.tenant.beta.dispatched_bytes").add(256);
+  auto& wait = registry.histogram("sched.tenant.alpha.wait_seconds");
+  wait.record_seconds(1e-4);
+  wait.record_seconds(2e-3);
+  wait.record_seconds(5e-2);
+  const auto snap = registry.snapshot();
+  obs::set_enabled(false);
+
+  const std::string report = render_sched_report(snap);
+  EXPECT_NE(report.find("dispatched 6 ops"), std::string::npos);
+  EXPECT_NE(report.find("tenant alpha"), std::string::npos);
+  EXPECT_NE(report.find("share  75.0%"), std::string::npos);
+  EXPECT_NE(report.find("misses 2"), std::string::npos);
+
+  // The full percentile spread renders from the wait histogram —
+  // exactly the values the snapshot itself reports.
+  const auto& h = snap.histograms.at("sched.tenant.alpha.wait_seconds");
+  const std::string spread = "wait p50/p95/p99 " +
+                             format_seconds(h.p50_seconds()) + "/" +
+                             format_seconds(h.p95_seconds()) + "/" +
+                             format_seconds(h.p99_seconds()) + " (n=3)";
+  EXPECT_NE(report.find(spread), std::string::npos) << report;
+
+  // beta recorded no waits: its line renders bytes + misses only.
+  EXPECT_NE(report.find("tenant beta"), std::string::npos);
+  EXPECT_NE(report.find("share  25.0%"), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/trace_context.h"
 #include "storage/memory_backend.h"
 #include "vol/async_connector.h"
 #include "vol/native_connector.h"
@@ -62,6 +63,31 @@ TEST(TraceRecorderTest, CapturesAllOperationKinds) {
   EXPECT_EQ(trace.events()[5].kind, TraceEvent::Kind::kFlush);
 }
 
+TEST(TraceRecorderTest, CausalTraceIdsRideTheRecordStream) {
+  auto& collector = obs::trace::TraceCollector::instance();
+  collector.clear();
+  collector.set_sampling_period(1);
+  collector.set_enabled(true);
+
+  auto file = make_structure();
+  TraceRecorder recorder(std::make_shared<AsyncConnector>(file));
+  auto field = file->dataset_at("out/field");
+  std::vector<float> values(32, 1.0f);
+  recorder
+      .dataset_write(field, h5::Selection::offsets({0}, {32}),
+                     std::as_bytes(std::span<const float>(values)))
+      ->wait();
+  recorder.wait_all();
+  const Trace trace = recorder.trace();
+  recorder.close();
+  collector.set_enabled(false);
+  collector.clear();
+
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_NE(trace.events()[0].trace_id, 0u);
+  EXPECT_NE(trace.events()[0].span_id, 0u);
+}
+
 TEST(TraceRecorderTest, IssueTimesMonotone) {
   auto file = make_structure();
   const Trace trace = record_sample_workload(file);
@@ -97,6 +123,40 @@ TEST(TraceTest, CsvRejectsGarbage) {
   EXPECT_THROW(Trace::from_csv("9,x,all,1,0,0\n"), FormatError);
   EXPECT_THROW(Trace::from_csv("0,p\n"), FormatError);
   EXPECT_THROW(Trace::from_csv("0,p,0:1:2,4,0,0\n"), FormatError);
+  // Between the legacy 6-column and current 8-column layouts lies
+  // nothing: a truncated id pair is malformed, as is a 9th column.
+  EXPECT_THROW(Trace::from_csv("0,p,all,4,0,0,17\n"), FormatError);
+  EXPECT_THROW(Trace::from_csv("0,p,all,4,0,0,17,18,19\n"), FormatError);
+}
+
+TEST(TraceTest, CsvCarriesTraceIds) {
+  Trace trace;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kWrite;
+  e.dataset_path = "d";
+  e.selection = h5::Selection::offsets({0}, {8});
+  e.bytes = 8;
+  e.trace_id = 42;
+  e.span_id = 7;
+  trace.append(e);
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("trace_id,span_id"), std::string::npos);
+
+  const Trace parsed = Trace::from_csv(csv);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.events()[0].trace_id, 42u);
+  EXPECT_EQ(parsed.events()[0].span_id, 7u);
+}
+
+TEST(TraceTest, LegacySixColumnCsvParsesWithZeroIds) {
+  const Trace parsed = Trace::from_csv(
+      "kind,path,selection,bytes,issue_time,blocking\n"
+      "0,d,all,16,0.5,0.25\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.events()[0].bytes, 16u);
+  EXPECT_DOUBLE_EQ(parsed.events()[0].issue_time, 0.5);
+  EXPECT_EQ(parsed.events()[0].trace_id, 0u);
+  EXPECT_EQ(parsed.events()[0].span_id, 0u);
 }
 
 // Dataset paths are user-controlled, so the CSV layer must quote the

@@ -32,6 +32,14 @@
 //                 aggregation layer exists to eliminate.  The
 //                 deliberate scalar fallbacks (A/B comparison paths)
 //                 carry per-line waivers.
+//   trace-phase   causal-trace spans in src/ must be attributed to a
+//                 named phase from the obs::trace::Phase enum: every
+//                 ScopedPhase / record_phase line must spell a
+//                 Phase::k... constant on the same line, and raw
+//                 TraceContext{...} construction (forging a context
+//                 instead of propagating one) is flagged.  The
+//                 collective writer's deliberate cross-rank context
+//                 reconstruction carries per-line waivers.
 //
 // Any rule can be waived for one line with a trailing comment:
 //   // apio-lint: allow(<rule>)
@@ -91,6 +99,8 @@ void lint_file(const fs::path& root, const fs::path& file) {
       file.filename() == "faulty_backend.h" ||
       file.filename() == "faulty_backend.cpp";
   const bool in_h5 = path_under(file, root / "src" / "h5");
+  const bool is_trace_impl = file.filename() == "trace_context.h" ||
+                             file.filename() == "trace_context.cpp";
   const bool is_io_vector_impl = file.filename() == "io_vector.h" ||
                                  file.filename() == "io_vector.cpp";
   const bool is_header = file.extension() == ".h";
@@ -144,6 +154,24 @@ void lint_file(const fs::path& root, const fs::path& file) {
              "(write_v/read_v), not issue per-segment backend calls; "
              "annotate a deliberate scalar fallback with apio-lint: "
              "allow(io-vector)");
+    }
+
+    if (in_src && !is_trace_impl) {
+      if ((has_token(code, "ScopedPhase") || has_token(code, "record_phase")) &&
+          !contains(code, "Phase::k") && !waived(raw, "trace-phase")) {
+        report(sf.path, lineno, "trace-phase",
+               "trace spans must name a phase from the obs::trace::Phase "
+               "enum on the same line (Phase::k...), so every span is "
+               "attributable in the critical-path report");
+      }
+      if ((contains(code, "TraceContext{") || contains(code, "TraceContext(")) &&
+          !waived(raw, "trace-phase")) {
+        report(sf.path, lineno, "trace-phase",
+               "constructing a raw TraceContext forges causal identity; "
+               "propagate the submitter's context (current_trace / "
+               "ScopedTraceContext) or annotate a deliberate cross-rank "
+               "reconstruction with apio-lint: allow(trace-phase)");
+      }
     }
 
     if (contains(code, ".detach()") && !waived(raw, "no-detach")) {

@@ -26,6 +26,20 @@
 //       (per-tenant bytes/share, p99 submit->grant wait, deadline
 //       misses).
 //
+//   apio_profile trace [--ranks N] [--particles N] [--steps N]
+//                [--pfs-mibps N] [--sample-rate N]
+//                [--straggler-threshold X] [--export-prom FILE]
+//                [--export-jsonl FILE] [--export-report FILE]
+//       Runs the VPIC-IO kernel under QoS with end-to-end causal
+//       request tracing (obs::trace) enabled: every write carries a
+//       TraceContext from submission through queue wait, admission,
+//       attempts/backoff and the leaf backend.  Afterwards the
+//       critical-path analyzer prints per-phase self-time percentiles,
+//       per-tenant latency, stragglers (with the phase that blew up)
+//       and span flames for the slowest requests.  A TelemetryExporter
+//       runs live during the kernel when --export-prom/--export-jsonl
+//       are given; --export-report writes the analyzer's JSON.
+//
 //   apio_profile analyze [--scenario ideal|partial|slowdown|all]
 //                [--ranks N] [--epochs N] [--bytes-mib N] [--pfs-mibps N]
 //                [--chrome FILE] [--max-drift PCT]
@@ -52,11 +66,15 @@
 
 #include "common/error.h"
 #include "common/units.h"
+#include "obs/critical_path.h"
 #include "obs/epoch_analyzer.h"
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
 #include "obs/span.h"
+#include "obs/telemetry.h"
+#include "obs/trace_context.h"
 #include "sched/fair_scheduler.h"
+#include "sched/report.h"
 #include "storage/memory_backend.h"
 #include "storage/backend_stack.h"
 #include "vol/adaptive_connector.h"
@@ -78,10 +96,14 @@ int usage(const char* argv0) {
                "       %s run vpic [--ranks N] [--particles N] [--steps N] "
                "[--mode sync|async|adaptive] [--pfs-mibps N] [--qos] "
                "[--chrome FILE]\n"
+               "       %s trace [--ranks N] [--particles N] [--steps N] "
+               "[--pfs-mibps N] [--sample-rate N] [--straggler-threshold X] "
+               "[--export-prom FILE] [--export-jsonl FILE] "
+               "[--export-report FILE]\n"
                "       %s analyze [--scenario ideal|partial|slowdown|all] "
                "[--ranks N] [--epochs N] [--bytes-mib N] [--pfs-mibps N] "
                "[--chrome FILE] [--max-drift PCT]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -156,55 +178,13 @@ void print_resilience_report(const obs::RegistrySnapshot& snap) {
   }
 }
 
-/// Multi-tenant QoS summary: per-tenant dispatched bytes and share of
-/// the channel, p99 submit->grant wait and deadline misses, from the
-/// sched.tenant.* metrics a FairScheduler records.  Printed only when
-/// one actually dispatched something, so non-QoS profiles stay
-/// unchanged.
-void print_sched_report(const obs::RegistrySnapshot& snap) {
-  const std::uint64_t dispatched = snap.counter_total("sched.dispatched");
-  if (dispatched == 0) return;
-
-  const std::uint64_t total_bytes = snap.counter_total("sched.dispatched_bytes");
-  std::printf("sched:\n");
-  std::printf("  dispatched %llu ops / %s (priority %llu, deadline misses %llu)\n",
-              static_cast<unsigned long long>(dispatched),
-              format_bytes(total_bytes).c_str(),
-              static_cast<unsigned long long>(
-                  snap.counter_total("sched.priority_dispatched")),
-              static_cast<unsigned long long>(
-                  snap.counter_total("sched.deadline_misses")));
-
-  const std::string prefix = "sched.tenant.";
-  const std::string suffix = ".dispatched_bytes";
-  for (const auto& [name, counter] : snap.counters) {
-    if (name.size() <= prefix.size() + suffix.size() ||
-        name.compare(0, prefix.size(), prefix) != 0 ||
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      continue;
-    }
-    const std::string tenant =
-        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
-    const double share =
-        total_bytes > 0 ? static_cast<double>(counter.total) /
-                              static_cast<double>(total_bytes)
-                        : 0.0;
-    double wait_p99 = 0.0;
-    auto hist = snap.histograms.find(prefix + tenant + ".wait_seconds");
-    if (hist != snap.histograms.end()) wait_p99 = hist->second.p99_seconds();
-    std::printf("  tenant %-12s %10s  share %5.1f%%  wait p99 %s  misses %llu\n",
-                tenant.c_str(), format_bytes(counter.total).c_str(),
-                100.0 * share, format_seconds(wait_p99).c_str(),
-                static_cast<unsigned long long>(
-                    snap.counter_total(prefix + tenant + ".deadline_misses")));
-  }
-}
-
 void print_observability_report() {
   const auto snap = obs::Registry::instance().snapshot();
   std::fputs(snap.summary().c_str(), stdout);
   print_resilience_report(snap);
-  print_sched_report(snap);
+  // Multi-tenant QoS summary (per-tenant bytes/share, wait percentile
+  // spread, deadline misses); empty for non-QoS profiles.
+  std::fputs(sched::render_sched_report(snap).c_str(), stdout);
   std::fputs(obs::Tracer::instance().summary().c_str(), stdout);
 }
 
@@ -361,6 +341,76 @@ int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
   return 0;
 }
 
+/// VPIC run under QoS with end-to-end causal tracing: every request's
+/// TraceContext is carried from submission through queue wait,
+/// admission, attempts and the leaf backend; the analyzer then
+/// decomposes each request's wall time into per-phase self-time and
+/// flags stragglers by the phase that blew up relative to the median.
+int cmd_trace(int ranks, std::uint64_t particles, int steps, double mibps,
+              int sample_rate, double straggler_threshold,
+              const std::string& prom_path, const std::string& jsonl_path,
+              const std::string& report_path) {
+  workloads::VpicParams params;
+  params.particles_per_rank = particles;
+  params.time_steps = steps;
+  params.compute_seconds = 0.02;
+  workloads::VpicIoKernel kernel(params);
+
+  enable_observability();
+  auto& collector = obs::trace::TraceCollector::instance();
+  collector.clear();
+  collector.set_sampling_period(static_cast<std::uint64_t>(sample_rate));
+  collector.set_enabled(true);
+
+  auto scheduler = std::make_shared<sched::FairScheduler>();
+  scheduler->register_tenant("vpic", 1.0);
+  auto file = h5::File::create(make_pfs(mibps, scheduler));
+  vol::AsyncOptions options;
+  options.tenant = "vpic";
+  auto connector = std::make_shared<vol::AsyncConnector>(file, options);
+  connector->set_reported_ranks(ranks);
+  auto metrics = std::make_shared<obs::MetricsObserver>();
+  connector->add_observer(metrics);
+
+  obs::trace::TelemetryOptions telemetry;
+  telemetry.interval_seconds = 0.2;
+  telemetry.prom_path = prom_path;
+  telemetry.jsonl_path = jsonl_path;
+  obs::trace::TelemetryExporter exporter(telemetry);
+  if (!prom_path.empty() || !jsonl_path.empty()) exporter.start();
+
+  pmpi::run(ranks, [&](pmpi::Communicator& comm) { kernel.run(*connector, comm); });
+  connector->wait_all();
+  connector->close();
+  exporter.stop();
+  collector.set_enabled(false);
+  obs::set_enabled(false);
+  obs::set_tracing_enabled(false);
+
+  const auto traces = collector.drain();
+  obs::trace::CriticalPathAnalyzer analyzer(traces);
+  std::printf("vpic trace: %d ranks x %llu particles x 8 props x %d steps, "
+              "sampling 1-in-%d\n",
+              ranks, static_cast<unsigned long long>(particles), steps,
+              sample_rate);
+  std::fputs(analyzer.report(straggler_threshold).c_str(), stdout);
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) throw IoError("cannot write '" + report_path + "'");
+    out << analyzer.to_json(straggler_threshold) << '\n';
+    std::printf("trace report -> %s\n", report_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    std::printf("prometheus snapshot -> %s (%llu flushes)\n", prom_path.c_str(),
+                static_cast<unsigned long long>(exporter.flush_count()));
+  }
+  if (!jsonl_path.empty()) {
+    std::printf("trace jsonl -> %s\n", jsonl_path.c_str());
+  }
+  return traces.empty() ? 1 : 0;
+}
+
 /// Runs one deterministic Fig. 1 scenario through the epoch analyzer:
 /// per epoch each rank issues one async write (the staging copy is the
 /// transactional cost), overlaps `t_comp` seconds of simulated compute,
@@ -499,6 +549,11 @@ int main(int argc, char** argv) {
   std::uint64_t bytes_mib = 16;
   double max_drift = 0.0;
   bool qos = false;
+  int sample_rate = 1;
+  double straggler_threshold = 3.0;
+  std::string prom_path;
+  std::string jsonl_path;
+  std::string report_path;
 
   auto parse_flags = [&](int start) -> bool {
     for (int i = start; i < argc; ++i) {
@@ -549,6 +604,26 @@ int main(int argc, char** argv) {
         max_drift = std::atof(v);
       } else if (flag == "--qos") {
         qos = true;
+      } else if (flag == "--sample-rate") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        sample_rate = std::atoi(v);
+      } else if (flag == "--straggler-threshold") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        straggler_threshold = std::atof(v);
+      } else if (flag == "--export-prom") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        prom_path = v;
+      } else if (flag == "--export-jsonl") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        jsonl_path = v;
+      } else if (flag == "--export-report") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        report_path = v;
       } else {
         std::fprintf(stderr, "apio_profile: unknown flag '%s'\n", flag.c_str());
         return false;
@@ -578,6 +653,16 @@ int main(int argc, char** argv) {
       if (ranks < 1 || steps < 1 || particles == 0) return usage(argv[0]);
       return cmd_run_vpic(ranks, particles, steps, mode, mibps, qos,
                           chrome_path);
+    }
+    if (cmd == "trace") {
+      if (!parse_flags(2)) return usage(argv[0]);
+      if (ranks < 1 || steps < 1 || particles == 0 || sample_rate < 1 ||
+          straggler_threshold <= 1.0) {
+        return usage(argv[0]);
+      }
+      return cmd_trace(ranks, particles, steps, mibps, sample_rate,
+                       straggler_threshold, prom_path, jsonl_path,
+                       report_path);
     }
     if (cmd == "analyze") {
       ranks = 2;
