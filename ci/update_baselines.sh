@@ -18,7 +18,7 @@ fi
 
 mkdir -p bench/baselines
 for bench in fig3_vpic_write fig7_overlap ablation_vectored_io fig_fairshare \
-             fig_trace_overhead; do
+             fig_trace_overhead ablation_cache; do
   out="bench/baselines/${bench}.jsonl"
   rm -f "${out}"
   APIO_BENCH_JSON="${out}" "${BUILD}/bench/${bench}" >/dev/null

@@ -18,6 +18,7 @@ const char* lock_rank_name(LockRank rank) {
     case LockRank::kPmpiCollective: return "pmpi.collective";
     case LockRank::kPmpiBarrier: return "pmpi.barrier";
     case LockRank::kPmpiMailbox: return "pmpi.mailbox";
+    case LockRank::kStorageCache: return "storage.cache";
     case LockRank::kResilienceBreaker: return "resilience.breaker";
     case LockRank::kSchedQueue: return "sched.queue";
     case LockRank::kStorageWrapper: return "storage.wrapper";

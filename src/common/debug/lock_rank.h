@@ -36,6 +36,10 @@ enum class LockRank : int {
   kPmpiCollective = 34, ///< World collective exchange slots
   kPmpiBarrier = 38,    ///< World sense-reversing barrier
   kPmpiMailbox = 42,    ///< per-rank point-to-point mailbox
+  // -- storage cache (outermost storage decorator; the drain mutex is
+  //    held across the inner flush transfer, so it ranks below every
+  //    lock the inner stack may take) --------------------------------
+  kStorageCache = 43,   ///< CachedBackend drain/flush serialisation
   // -- resilience (breaker consulted by storage wrappers and the vol
   //    background stream; never held across an inner transfer) --------
   kResilienceBreaker = 44, ///< CircuitBreaker state

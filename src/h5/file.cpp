@@ -874,6 +874,10 @@ void File::flush() {
 void File::close() {
   if (!open_) return;
   flush();
+  // Lifecycle hook after the final flush: visibility-deferring tiers
+  // (storage::CachedBackend in after-close / after-epoch mode) drain
+  // their staged data to the PFS here.
+  backend_->close();
   open_ = false;
 }
 

@@ -1,6 +1,7 @@
 #include "obs/trace_context.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/span.h"
 
@@ -27,6 +28,8 @@ const char* phase_name(Phase phase) {
     case Phase::kAttempt: return "attempt";
     case Phase::kBackoff: return "backoff";
     case Phase::kBackend: return "backend";
+    case Phase::kCacheHit: return "cache_hit";
+    case Phase::kCacheFlush: return "cache_flush";
     case Phase::kFallback: return "fallback";
     case Phase::kExchange: return "exchange";
     case Phase::kRemoteWrite: return "remote_write";
@@ -56,7 +59,31 @@ ScopedTraceContext::~ScopedTraceContext() {
 
 TraceCollector& TraceCollector::instance() {
   static TraceCollector collector;
+  // Seed the slowdown-injection hook from the environment exactly once;
+  // absent (the production case) it stays 0 and the minting path pays a
+  // single relaxed load.
+  static const bool env_seeded = [] {
+    if (const char* v = std::getenv("APIO_TRACE_INJECT_SPAN_DELAY_US")) {
+      collector.set_injected_delay_us(std::strtoull(v, nullptr, 10));
+    }
+    return true;
+  }();
+  (void)env_seeded;
   return collector;
+}
+
+void TraceCollector::set_injected_delay_us(std::uint64_t us) {
+  injected_delay_us_.store(us, std::memory_order_relaxed);
+}
+
+void TraceCollector::apply_injected_delay() const {
+  const std::uint64_t us = injected_delay_us_.load(std::memory_order_relaxed);
+  if (us == 0) return;
+  // Busy-wait: the hook models tracing-path CPU cost, so it must not
+  // yield (a sleep would vanish from min-of-N wall samples under load).
+  const double until = steady_seconds() + static_cast<double>(us) * 1e-6;
+  while (steady_seconds() < until) {
+  }
 }
 
 void TraceCollector::set_enabled(bool on) {
@@ -84,6 +111,7 @@ void TraceCollector::set_capacity(std::size_t capacity) {
 
 TraceContext TraceCollector::start_trace() {
   if (!enabled()) return {};
+  apply_injected_delay();
   TraceContext ctx;
   const std::uint64_t n = next_trace_.fetch_add(1, std::memory_order_relaxed);
   ctx.trace_id = n + 1;

@@ -63,6 +63,8 @@ enum class Phase : std::uint8_t {
   kAttempt,      ///< one retry-session execution attempt
   kBackoff,      ///< retry backoff delay
   kBackend,      ///< one storage::Backend decorator/leaf operation
+  kCacheHit,     ///< read served from the burst-buffer staging area
+  kCacheFlush,   ///< dirty-extent drain from the cache to the PFS tier
   kFallback,     ///< degraded-mode synchronous replay
   kExchange,     ///< collective header/payload exchange (pmpi)
   kRemoteWrite,  ///< aggregator writing a contributor's bytes
@@ -70,7 +72,7 @@ enum class Phase : std::uint8_t {
   kOther,        ///< root self-time not covered by any child phase
 };
 
-inline constexpr int kPhaseCount = 14;
+inline constexpr int kPhaseCount = 16;
 
 const char* phase_name(Phase phase);
 
@@ -159,6 +161,17 @@ class TraceCollector {
   void set_sampling_period(std::uint64_t period);
   [[nodiscard]] std::uint64_t sampling_period() const;
 
+  /// Test hook for the tracing-cost gate (bench/fig_trace_overhead): a
+  /// busy-wait of this many microseconds is charged on every *enabled*
+  /// start_trace(), modelling a tracing-path slowdown the gate must
+  /// catch.  Seeded once from APIO_TRACE_INJECT_SPAN_DELAY_US when the
+  /// singleton is first touched; the production value 0 costs a single
+  /// relaxed load on the minting path and nothing when tracing is off.
+  void set_injected_delay_us(std::uint64_t us);
+  [[nodiscard]] std::uint64_t injected_delay_us() const {
+    return injected_delay_us_.load(std::memory_order_relaxed);
+  }
+
   /// Completed-trace ring capacity; the oldest trace is evicted first.
   void set_capacity(std::size_t capacity);
 
@@ -221,8 +234,10 @@ class TraceCollector {
   };
 
   void record_locked(std::uint64_t trace_id, TraceSpan&& span);
+  void apply_injected_delay() const;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> injected_delay_us_{0};
   std::atomic<std::uint64_t> next_trace_{0};
   std::atomic<std::uint64_t> next_span_{0};
 

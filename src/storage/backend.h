@@ -89,6 +89,13 @@ class Backend {
   /// Persists buffered data (no-op for memory backends).
   virtual void flush() = 0;
 
+  /// Lifecycle hook: the container (h5::File::close) announces that no
+  /// further writes follow.  Leaves ignore it; decorators forward it
+  /// inward; visibility-deferring tiers (CachedBackend in kAfterClose /
+  /// kAfterEpoch mode) drain their staged data here.  Unlike flush(),
+  /// close() may publish data a consistency policy was withholding.
+  virtual void close() {}
+
   /// Sets the object size, zero-filling on growth.
   virtual void truncate(std::uint64_t new_size) = 0;
 

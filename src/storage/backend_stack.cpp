@@ -26,7 +26,7 @@ BackendStack BackendStack::wrap(BackendPtr leaf) {
 void BackendStack::require_order(Stage next, const char* layer) {
   APIO_INVARIANT(static_cast<int>(next) > static_cast<int>(stage_),
                  "backend decorator order is leaf < throttled < resilient < "
-                 "qos, each layer at most once");
+                 "qos < cached, each layer at most once");
   (void)layer;
   stage_ = next;
 }
@@ -52,6 +52,13 @@ BackendStack& BackendStack::qos(sched::FairSchedulerPtr scheduler,
   require_order(Stage::kQos, "qos");
   backend_ = std::make_shared<QosBackend>(
       std::move(backend_), std::move(scheduler), std::move(options));
+  return *this;
+}
+
+BackendStack& BackendStack::cached(CacheOptions options, BackendPtr staging) {
+  require_order(Stage::kCached, "cached");
+  backend_ = std::make_shared<CachedBackend>(std::move(backend_), options,
+                                             std::move(staging));
   return *this;
 }
 

@@ -68,6 +68,7 @@ class FaultyBackend final : public Backend {
   // and every-N plans can fail an aggregated transfer partway through
   // (prefix written, suffix rejected) just like a real mid-batch fault.
   void flush() override;
+  void close() override { inner_->close(); }
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override { return "faulty(" + inner_->name() + ")"; }
 

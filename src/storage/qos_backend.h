@@ -50,6 +50,10 @@ class QosBackend final : public Backend {
   [[nodiscard]] std::uint64_t read_v(
       std::span<const ReadExtent> extents) override;
   void flush() override;
+  // close() is a lifecycle announcement, not a transfer: it takes no
+  // admission slot (any cache drain it triggers arrives as ordinary
+  // write_v/flush traffic from the outer tier and is admitted there).
+  void close() override { inner_->close(); }
   /// Rare metadata operation; passes through unadmitted (it must be
   /// externally serialised anyway, per the Backend contract).
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }

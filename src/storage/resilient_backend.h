@@ -45,6 +45,7 @@ class ResilientBackend final : public Backend {
   // each extent is retried under the policy independently — a transient
   // fault mid-batch re-runs only the failed extent, not the whole list.
   void flush() override;
+  void close() override { inner_->close(); }
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override {
     return "resilient(" + inner_->name() + ")";

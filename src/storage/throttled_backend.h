@@ -42,6 +42,7 @@ class ThrottledBackend final : public Backend {
   [[nodiscard]] std::uint64_t read_v(
       std::span<const ReadExtent> extents) override;
   void flush() override;
+  void close() override { inner_->close(); }
   void truncate(std::uint64_t new_size) override { inner_->truncate(new_size); }
   std::string name() const override { return "throttled(" + inner_->name() + ")"; }
 

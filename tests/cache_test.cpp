@@ -1,0 +1,550 @@
+// CachedBackend: the write-back burst-buffer tier (bbThemis-style
+// visibility modes) — hit/miss bookkeeping, LRU eviction with dirty
+// write-back, epoch-driven drains, decorator-order interplay with the
+// QoS and resilience tiers, and the crash-consistency matrix
+// {4 consistency modes} x {mid-flush fault, clean close, epoch
+// boundary} with visibility asserted via File::open checksum
+// validation over the inner (PFS) backend.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "h5/file.h"
+#include "obs/epoch_analyzer.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/retry.h"
+#include "sched/fair_scheduler.h"
+#include "storage/backend_stack.h"
+#include "storage/cached_backend.h"
+#include "storage/faulty_backend.h"
+#include "storage/memory_backend.h"
+
+using namespace apio;
+using namespace apio::storage;
+
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 0x40) {
+  std::vector<std::byte> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return data;
+}
+
+std::shared_ptr<CachedBackend> as_cache(const BackendPtr& backend) {
+  auto cache = std::dynamic_pointer_cast<CachedBackend>(backend);
+  EXPECT_NE(cache, nullptr);
+  return cache;
+}
+
+CacheOptions opts(CacheConsistency mode,
+                  std::uint64_t capacity = 64ull << 20,
+                  std::uint64_t block = 4096) {
+  CacheOptions o;
+  o.consistency = mode;
+  o.capacity_bytes = capacity;
+  o.block_bytes = block;
+  return o;
+}
+
+constexpr CacheConsistency kAllModes[] = {
+    CacheConsistency::kAfterWrite, CacheConsistency::kAfterClose,
+    CacheConsistency::kAfterEpoch, CacheConsistency::kAfterJob};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mode plumbing and stack composition
+
+TEST(CacheModeTest, ConsistencyNamesRoundTrip) {
+  for (const auto mode : kAllModes) {
+    CacheConsistency parsed{};
+    ASSERT_TRUE(parse_cache_consistency(to_string(mode), parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  CacheConsistency parsed{};
+  EXPECT_FALSE(parse_cache_consistency("immediately", parsed));
+}
+
+TEST(CacheStackTest, CachedComposesOutermost) {
+  auto scheduler = std::make_shared<sched::FairScheduler>();
+  ThrottleParams throttle;
+  throttle.bandwidth = 1e12;
+  auto backend = BackendStack::memory()
+                     .throttled(throttle)
+                     .resilient({})
+                     .qos(scheduler)
+                     .cached(opts(CacheConsistency::kAfterClose))
+                     .build();
+  EXPECT_EQ(backend->name(),
+            "cached[after-close](qos(resilient(throttled(memory))))");
+}
+
+// ---------------------------------------------------------------------------
+// Write-back basics
+
+TEST(CacheTest, WriteBackAbsorbsWritesOffTheInnerTier) {
+  auto inner = std::make_shared<MemoryBackend>();
+  auto backend =
+      BackendStack::wrap(inner).cached(opts(CacheConsistency::kAfterClose))
+          .build();
+  auto cache = as_cache(backend);
+
+  const auto data = pattern(8 * 1024);
+  backend->write(0, data);
+  EXPECT_EQ(inner->stats().bytes_written, 0u)
+      << "write-back: nothing reaches the PFS before the drain trigger";
+
+  std::vector<std::byte> back(data.size());
+  backend->read(0, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(inner->stats().bytes_read, 0u) << "read served from staging";
+
+  const auto snap = cache->cache_snapshot();
+  EXPECT_EQ(snap.hits, 1u);
+  EXPECT_EQ(snap.dirty_bytes, data.size());
+
+  backend->close();
+  EXPECT_EQ(inner->stats().bytes_written, data.size());
+  EXPECT_EQ(cache->cache_snapshot().dirty_bytes, 0u);
+  std::vector<std::byte> inner_back(data.size());
+  inner->read(0, inner_back);
+  EXPECT_EQ(inner_back, data);
+}
+
+TEST(CacheTest, DrainCoalescesAdjacentExtentsThroughWriteV) {
+  auto inner = std::make_shared<MemoryBackend>();
+  auto backend =
+      BackendStack::wrap(inner).cached(opts(CacheConsistency::kAfterClose))
+          .build();
+
+  // 16 adjacent 256-byte writes plus one distant extent: the drain
+  // must coalesce the run into one extent and leave as vectored
+  // batches, not 17 scalar writes.
+  const auto data = pattern(256);
+  for (int i = 0; i < 16; ++i) {
+    backend->write(static_cast<std::uint64_t>(i) * 256, data);
+  }
+  backend->write(1 << 20, data);
+  backend->close();
+
+  // Header-last drain order: one write_v for the non-header extent,
+  // one for the lowest extent — two inner ops total.
+  EXPECT_EQ(inner->stats().write_ops, 2u);
+  EXPECT_EQ(inner->stats().bytes_written, 17u * 256u);
+}
+
+TEST(CacheTest, ReadThroughFetchesOnceThenHits) {
+  auto inner = std::make_shared<MemoryBackend>();
+  const auto data = pattern(4096);
+  inner->write(0, data);
+
+  auto backend =
+      BackendStack::wrap(inner).cached(opts(CacheConsistency::kAfterClose))
+          .build();
+  auto cache = as_cache(backend);
+
+  std::vector<std::byte> back(data.size());
+  backend->read(0, back);
+  EXPECT_EQ(back, data);
+  backend->read(0, back);
+  EXPECT_EQ(back, data);
+
+  const auto snap = cache->cache_snapshot();
+  EXPECT_EQ(snap.misses, 1u);
+  EXPECT_EQ(snap.hits, 1u);
+  EXPECT_EQ(snap.miss_bytes, data.size());
+  EXPECT_EQ(inner->stats().bytes_read, data.size())
+      << "the second read must not touch the PFS";
+}
+
+TEST(CacheTest, ReadPastLogicalEndThrows) {
+  auto backend = BackendStack::memory()
+                     .cached(opts(CacheConsistency::kAfterClose))
+                     .build();
+  backend->write(0, pattern(64));
+  std::vector<std::byte> out(65);
+  EXPECT_THROW(backend->read(0, out), IoError);
+}
+
+TEST(CacheTest, LruEvictionWritesDirtyVictimsBackFirst) {
+  auto inner = std::make_shared<MemoryBackend>();
+  // Two 1 KiB blocks of capacity; three dirty blocks force eviction.
+  auto backend = BackendStack::wrap(inner)
+                     .cached(opts(CacheConsistency::kAfterClose, 2048, 1024))
+                     .build();
+  auto cache = as_cache(backend);
+
+  const auto b0 = pattern(1024, 0x10);
+  const auto b1 = pattern(1024, 0x20);
+  const auto b2 = pattern(1024, 0x30);
+  backend->write(0, b0);
+  backend->write(1024, b1);
+  backend->write(2048, b2);  // evicts the LRU block (block 0)
+
+  const auto snap = cache->cache_snapshot();
+  EXPECT_GE(snap.evictions, 1u);
+  EXPECT_GE(snap.writeback_bytes, 1024u) << "dirty victim written back";
+  EXPECT_LE(snap.cached_bytes, 2048u);
+
+  // The evicted range is still correct: refetched from the PFS tier.
+  std::vector<std::byte> back(1024);
+  backend->read(0, back);
+  EXPECT_EQ(back, b0);
+
+  backend->close();
+  std::vector<std::byte> all(3 * 1024);
+  inner->read(0, all);
+  std::vector<std::byte> want;
+  want.insert(want.end(), b0.begin(), b0.end());
+  want.insert(want.end(), b1.begin(), b1.end());
+  want.insert(want.end(), b2.begin(), b2.end());
+  EXPECT_EQ(all, want);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-aligned visibility
+
+TEST(CacheTest, AfterEpochDrainsOnEpochEndMarker) {
+  auto inner = std::make_shared<MemoryBackend>();
+  auto backend =
+      BackendStack::wrap(inner).cached(opts(CacheConsistency::kAfterEpoch))
+          .build();
+
+  const auto data = pattern(2048);
+  {
+    obs::EpochScope epoch(0);
+    backend->write(0, data);
+    EXPECT_EQ(inner->stats().bytes_written, 0u);
+  }  // kEnd marker fires here
+  EXPECT_EQ(inner->stats().bytes_written, data.size())
+      << "epoch end must drain the dirty set";
+  std::vector<std::byte> back(data.size());
+  inner->read(0, back);
+  EXPECT_EQ(back, data);
+}
+
+// ---------------------------------------------------------------------------
+// Interplay with the QoS tier (BackendStack ordering audit)
+
+TEST(CacheTest, StagedWritesBypassAdmissionAndDrainsAreAdmitted) {
+  auto scheduler = std::make_shared<sched::FairScheduler>();
+  auto backend = BackendStack::memory()
+                     .qos(scheduler)
+                     .cached(opts(CacheConsistency::kAfterClose))
+                     .build();
+
+  backend->write(0, pattern(4096));
+  EXPECT_EQ(scheduler->stats().dispatched_ops, 0u)
+      << "staged writes must not spend PFS admission slots";
+
+  backend->close();
+  const auto stats = scheduler->stats();
+  // The drain arrives as ordinary admitted traffic: one vectored write
+  // batch plus the priority-lane flush — and close() returns with no
+  // slot still held (queue fully drained).
+  EXPECT_GE(stats.dispatched_ops, 2u);
+  EXPECT_GE(stats.dispatched_bytes, 4096u);
+  EXPECT_EQ(stats.submitted_ops, stats.dispatched_ops)
+      << "close() must return with the admission queue fully drained";
+}
+
+// ---------------------------------------------------------------------------
+// Interplay with the resilience tier: a breaker-open PFS during the
+// drain surfaces TransientIoError and retains the dirty set.
+
+TEST(CacheTest, BreakerOpenDuringDrainRetainsDirtySet) {
+  FaultPlan plan;
+  plan.fail_every_n_writes = 1;  // every PFS write fails...
+  plan.transient = true;         // ...transiently
+  auto faulty =
+      std::make_shared<FaultyBackend>(std::make_shared<MemoryBackend>(), plan);
+
+  resilience::ManualClock clock;
+  ResilienceOptions resilience;
+  resilience.retry.max_attempts = 2;
+  resilience.breaker.failure_threshold = 1;
+  resilience.breaker.open_seconds = 10.0;
+  auto backend = BackendStack::wrap(faulty)
+                     .resilient(resilience, &clock, &clock)
+                     .cached(opts(CacheConsistency::kAfterClose))
+                     .build();
+  auto cache = as_cache(backend);
+
+  const auto data = pattern(1024);
+  backend->write(0, data);
+
+  EXPECT_THROW(backend->close(), TransientIoError)
+      << "exhausted retries surface the transient classification";
+  auto snap = cache->cache_snapshot();
+  EXPECT_EQ(snap.dirty_bytes, data.size()) << "dirty set retained";
+  EXPECT_EQ(snap.flush_failures, 1u);
+
+  // The leaf heals but the breaker is still open: the drain must keep
+  // surfacing TransientIoError (BreakerOpenError) without dropping the
+  // dirty extents.
+  faulty->heal();
+  EXPECT_THROW(cache->drain(), resilience::BreakerOpenError);
+  EXPECT_EQ(cache->cache_snapshot().dirty_bytes, data.size());
+
+  // Past the cooldown the half-open probe succeeds and the same
+  // extents finally land.
+  clock.advance(11.0);
+  cache->drain();
+  EXPECT_EQ(cache->cache_snapshot().dirty_bytes, 0u);
+  std::vector<std::byte> back(data.size());
+  faulty->read(0, back);
+  EXPECT_EQ(back, data);
+}
+
+// ---------------------------------------------------------------------------
+// Read-after-shrink through the cache (PR 5 set_extent semantics)
+
+TEST(CacheTest, TruncateInvalidatesStagedBytesBeyondNewSize) {
+  auto inner = std::make_shared<MemoryBackend>();
+  auto backend =
+      BackendStack::wrap(inner).cached(opts(CacheConsistency::kAfterClose))
+          .build();
+
+  const auto data = pattern(4096);
+  backend->write(0, data);
+  std::vector<std::byte> warm(4096);
+  backend->read(0, warm);  // staged and hot
+
+  backend->truncate(2048);           // shrink
+  backend->truncate(4096);           // regrow: zero-fill, not stale bytes
+  std::vector<std::byte> back(4096);
+  backend->read(0, back);
+
+  std::vector<std::byte> want(data.begin(), data.begin() + 2048);
+  want.resize(4096, std::byte{0});
+  EXPECT_EQ(back, want);
+}
+
+TEST(CacheTest, SetExtentShrinkDropsOutsideChunksOnRegrowThroughCache) {
+  // Mirror of the PR 5 dataset-path regression, run through every
+  // cache mode: regrow over dead space must read zero fill, never
+  // stale staged bytes.
+  for (const auto mode : kAllModes) {
+    auto file = h5::File::create(
+        BackendStack::memory().cached(opts(mode)).build());
+    auto ds = file->root().create_dataset(
+        "d", h5::Datatype::kInt32, {8}, h5::DatasetCreateProps::chunked({4}));
+    const std::vector<std::int32_t> values{1, 2, 3, 4, 5, 6, 7, 8};
+    ds.write<std::int32_t>(h5::Selection::all(), values);
+
+    ds.set_extent({4});
+    ds.set_extent({8});
+    EXPECT_EQ(ds.read_vector<std::int32_t>(h5::Selection::all()),
+              (std::vector<std::int32_t>{1, 2, 3, 4, 0, 0, 0, 0}))
+        << "mode " << to_string(mode);
+  }
+}
+
+TEST(CacheTest, SetExtentShrinkKeepsPartiallyCoveredChunksThroughCache) {
+  for (const auto mode : kAllModes) {
+    auto file = h5::File::create(
+        BackendStack::memory().cached(opts(mode)).build());
+    auto ds = file->root().create_dataset(
+        "d", h5::Datatype::kInt32, {8}, h5::DatasetCreateProps::chunked({4}));
+    const std::vector<std::int32_t> values{1, 2, 3, 4, 5, 6, 7, 8};
+    ds.write<std::int32_t>(h5::Selection::all(), values);
+
+    ds.set_extent({6});
+    EXPECT_EQ(ds.read_vector<std::int32_t>(h5::Selection::all()),
+              (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6}))
+        << "mode " << to_string(mode);
+    ds.set_extent({8});
+    EXPECT_EQ(ds.read_vector<std::int32_t>(h5::Selection::all()), values)
+        << "mode " << to_string(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistency matrix: {4 modes} x {clean close, epoch boundary,
+// mid-flush fault}.  The producer writes two epochs through the cache;
+// visibility is asserted by reopening the INNER backend with
+// File::open, whose superblock/metadata checksum validation fails
+// loudly on a torn container.
+
+namespace {
+
+struct MatrixRig {
+  std::shared_ptr<MemoryBackend> pfs;      // the "parallel file system"
+  std::shared_ptr<FaultyBackend> faulty;   // between cache and PFS
+  BackendPtr backend;                      // the cache (outermost)
+  std::shared_ptr<CachedBackend> cache;
+};
+
+MatrixRig make_rig(CacheConsistency mode) {
+  MatrixRig rig;
+  rig.pfs = std::make_shared<MemoryBackend>();
+  rig.faulty = std::make_shared<FaultyBackend>(rig.pfs, FaultPlan{});
+  rig.backend = BackendStack::wrap(rig.faulty).cached(opts(mode)).build();
+  rig.cache = as_cache(rig.backend);
+  return rig;
+}
+
+/// Writes epoch `step`'s half of the dataset and flushes the container
+/// metadata inside the epoch, so an epoch-end drain publishes a
+/// self-consistent container.
+void produce_epoch(const h5::FilePtr& file, int step) {
+  obs::EpochScope epoch(step);
+  auto ds = file->root().open_dataset("d");
+  const std::vector<std::uint8_t> half(
+      128, step == 0 ? std::uint8_t{0xA1} : std::uint8_t{0xB2});
+  ds.write<std::uint8_t>(
+      h5::Selection::offsets({static_cast<std::uint64_t>(step) * 128}, {128}),
+      half);
+  file->flush();
+}
+
+std::vector<std::uint8_t> full_contents() {
+  std::vector<std::uint8_t> want(128, 0xA1);
+  want.resize(256, 0xB2);
+  return want;
+}
+
+/// Opens the PFS tier directly (checksum-validated) and returns the
+/// dataset bytes; empty optional-style via bool when unreadable.
+bool pfs_visible(const std::shared_ptr<MemoryBackend>& pfs,
+                 std::vector<std::uint8_t>& out) {
+  try {
+    auto reopened = h5::File::open(pfs);
+    out = reopened->root().open_dataset("d").read_vector<std::uint8_t>(
+        h5::Selection::all());
+    return true;
+  } catch (const Error&) {
+    // FormatError (bad magic / checksum) on a torn or absent container,
+    // IoError on unreadable extents: both mean "not visible yet".
+    return false;
+  }
+}
+
+FaultPlan data_region_fault() {
+  FaultPlan plan;
+  // Any write beyond the 64-byte superblock faults (the drain's
+  // data/metadata extents — and any coalesced extent that starts at the
+  // header and runs past it), transiently.  Flushes carry no offset and
+  // never match.
+  plan.fault_offset_begin = 64;
+  plan.fault_offset_end = ~std::uint64_t{0};
+  plan.transient = true;
+  return plan;
+}
+
+}  // namespace
+
+TEST(CacheCrashMatrixTest, CleanCloseAndEpochBoundaryVisibilityPerMode) {
+  for (const auto mode : kAllModes) {
+    SCOPED_TRACE(to_string(mode));
+    auto rig = make_rig(mode);
+    auto file = h5::File::create(rig.backend);
+    file->root().create_dataset("d", h5::Datatype::kUInt8, {256});
+
+    produce_epoch(file, 0);
+
+    // Epoch-boundary cell: what a concurrent consumer (BD-CATS) sees
+    // on the PFS after the producer's first epoch closed.
+    std::vector<std::uint8_t> mid;
+    const bool visible_mid_run = pfs_visible(rig.pfs, mid);
+    const bool expect_mid = mode == CacheConsistency::kAfterWrite ||
+                            mode == CacheConsistency::kAfterEpoch;
+    EXPECT_EQ(visible_mid_run, expect_mid);
+    if (visible_mid_run) {
+      std::vector<std::uint8_t> epoch0(256, 0);
+      std::fill(epoch0.begin(), epoch0.begin() + 128, 0xA1);
+      EXPECT_EQ(mid, epoch0) << "epoch 0 published, epoch 1 not yet written";
+    }
+
+    produce_epoch(file, 1);
+    file->close();
+
+    // Clean-close cell: everything but kAfterJob is on the PFS now.
+    std::vector<std::uint8_t> post;
+    const bool visible_post_close = pfs_visible(rig.pfs, post);
+    EXPECT_EQ(visible_post_close, mode != CacheConsistency::kAfterJob);
+    if (visible_post_close) {
+      EXPECT_EQ(post, full_contents());
+    }
+
+    if (mode == CacheConsistency::kAfterJob) {
+      EXPECT_GT(rig.cache->cache_snapshot().dirty_bytes, 0u);
+      rig.cache->drain();  // "job end"
+      std::vector<std::uint8_t> job_end;
+      ASSERT_TRUE(pfs_visible(rig.pfs, job_end));
+      EXPECT_EQ(job_end, full_contents());
+    }
+  }
+}
+
+TEST(CacheCrashMatrixTest, MidFlushFaultRetainsDirtySetPerMode) {
+  for (const auto mode : kAllModes) {
+    SCOPED_TRACE(to_string(mode));
+    auto rig = make_rig(mode);
+    auto file = h5::File::create(rig.backend);
+    file->root().create_dataset("d", h5::Datatype::kUInt8, {256});
+    produce_epoch(file, 0);
+
+    switch (mode) {
+      case CacheConsistency::kAfterWrite: {
+        // The faulted write-through throws at write time, but the
+        // bytes are staged and dirty: after healing, close() drains
+        // the retained extent — write-through degrades to write-back
+        // under a PFS fault instead of losing the update.
+        rig.faulty->set_plan(data_region_fault());
+        auto ds = file->root().open_dataset("d");
+        const std::vector<std::uint8_t> half(128, 0xB2);
+        EXPECT_THROW(
+            ds.write<std::uint8_t>(h5::Selection::offsets({128}, {128}), half),
+            TransientIoError);
+        EXPECT_GT(rig.cache->cache_snapshot().dirty_bytes, 0u);
+        rig.faulty->heal();
+        file->close();
+        break;
+      }
+      case CacheConsistency::kAfterClose: {
+        produce_epoch(file, 1);
+        rig.faulty->set_plan(data_region_fault());
+        EXPECT_THROW(file->close(), TransientIoError);
+        EXPECT_GT(rig.cache->cache_snapshot().dirty_bytes, 0u);
+        EXPECT_GE(rig.cache->cache_snapshot().flush_failures, 1u);
+        rig.faulty->heal();
+        file->close();  // close() retries: drains the retained set
+        break;
+      }
+      case CacheConsistency::kAfterEpoch: {
+        // The faulted epoch-end drain fires inside the EpochScope
+        // destructor: the error is swallowed (counted), the dirty set
+        // retained, and the next drain publishes everything.
+        rig.faulty->set_plan(data_region_fault());
+        produce_epoch(file, 1);
+        EXPECT_GE(rig.cache->cache_snapshot().flush_failures, 1u);
+        EXPECT_GT(rig.cache->cache_snapshot().dirty_bytes, 0u);
+        rig.faulty->heal();
+        file->close();
+        break;
+      }
+      case CacheConsistency::kAfterJob: {
+        produce_epoch(file, 1);
+        file->close();  // no drain in this mode
+        rig.faulty->set_plan(data_region_fault());
+        EXPECT_THROW(rig.cache->drain(), TransientIoError);
+        EXPECT_GT(rig.cache->cache_snapshot().dirty_bytes, 0u);
+        rig.faulty->heal();
+        rig.cache->drain();
+        break;
+      }
+    }
+
+    std::vector<std::uint8_t> post;
+    ASSERT_TRUE(pfs_visible(rig.pfs, post))
+        << "after heal + redrain the container must validate";
+    EXPECT_EQ(post, full_contents());
+    EXPECT_EQ(rig.cache->cache_snapshot().dirty_bytes, 0u);
+  }
+}

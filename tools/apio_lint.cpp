@@ -24,6 +24,14 @@
 //                 (outside its own definition) would ship injected
 //                 failures.  Production resilience goes through
 //                 storage::ResilientBackend / AsyncOptions::retry.
+//   cached-backend  storage::CachedBackend must be constructed through
+//                 BackendStack::cached(), never directly: the stack
+//                 builder is what enforces the decorator-order
+//                 invariant (cache outermost, so hits bypass QoS
+//                 admission and drains pass through it).  A direct
+//                 make_shared<CachedBackend>(...) can silently nest
+//                 the cache under qos/resilient and spend admission
+//                 slots on node-local staging copies.
 //   io-vector     dataset transfer paths in src/h5 must aggregate
 //                 segments through h5::IoVector (one vectored
 //                 write_v/read_v per transfer) instead of issuing
@@ -98,6 +106,10 @@ void lint_file(const fs::path& root, const fs::path& file) {
   const bool is_faulty_backend_impl =
       file.filename() == "faulty_backend.h" ||
       file.filename() == "faulty_backend.cpp";
+  const bool is_cached_backend_impl =
+      file.filename() == "cached_backend.h" ||
+      file.filename() == "cached_backend.cpp" ||
+      file.filename() == "backend_stack.cpp";
   const bool in_h5 = path_under(file, root / "src" / "h5");
   const bool is_trace_impl = file.filename() == "trace_context.h" ||
                              file.filename() == "trace_context.cpp";
@@ -144,6 +156,19 @@ void lint_file(const fs::path& root, const fs::path& file) {
              "FaultyBackend is a test-only fault injector and must not be "
              "wired into library code; use storage::ResilientBackend or "
              "AsyncOptions::retry for production resilience");
+    }
+
+    if (!is_cached_backend_impl &&
+        (contains(code, "make_shared<CachedBackend") ||
+         contains(code, "new CachedBackend") ||
+         contains(code, "new storage::CachedBackend")) &&
+        !waived(raw, "cached-backend")) {
+      report(sf.path, lineno, "cached-backend",
+             "construct the burst-buffer cache through "
+             "storage::BackendStack::cached(), not directly — the stack "
+             "builder enforces the decorator-order invariant (cache "
+             "outermost); annotate a deliberate exception with apio-lint: "
+             "allow(cached-backend)");
     }
 
     if (in_h5 && !is_io_vector_impl &&

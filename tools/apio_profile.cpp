@@ -64,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "common/debug/invariant.h"
 #include "common/error.h"
 #include "common/units.h"
 #include "obs/critical_path.h"
@@ -95,6 +96,7 @@ int usage(const char* argv0) {
                "[--chrome FILE]\n"
                "       %s run vpic [--ranks N] [--particles N] [--steps N] "
                "[--mode sync|async|adaptive] [--pfs-mibps N] [--qos] "
+               "[--cache after-write|after-close|after-epoch|after-job] "
                "[--chrome FILE]\n"
                "       %s trace [--ranks N] [--particles N] [--steps N] "
                "[--pfs-mibps N] [--sample-rate N] [--straggler-threshold X] "
@@ -116,13 +118,21 @@ std::string read_file(const char* path) {
 }
 
 storage::BackendPtr make_pfs(double mibps,
-                             sched::FairSchedulerPtr scheduler = nullptr) {
+                             sched::FairSchedulerPtr scheduler = nullptr,
+                             const std::string& cache_mode = "") {
   storage::ThrottleParams params;
   params.bandwidth = mibps * kMiB;
   params.latency = 2e-3;
   params.time_scale = 1.0;
   auto stack = storage::BackendStack::memory().throttled(params);
   if (scheduler != nullptr) stack.qos(scheduler);
+  if (!cache_mode.empty()) {
+    storage::CacheOptions options;
+    APIO_REQUIRE(
+        storage::parse_cache_consistency(cache_mode, options.consistency),
+        "unknown cache consistency mode '" + cache_mode + "'");
+    stack.cached(options);
+  }
   return stack.build();
 }
 
@@ -178,10 +188,63 @@ void print_resilience_report(const obs::RegistrySnapshot& snap) {
   }
 }
 
+/// Burst-buffer cache summary: hit/miss split, drain volume, failures.
+/// Printed only when a CachedBackend was actually in the stack, so
+/// cacheless profiles stay unchanged.
+void print_cache_report(const obs::RegistrySnapshot& snap) {
+  const std::uint64_t hits = snap.counter_total("io.cache.hits");
+  const std::uint64_t misses = snap.counter_total("io.cache.misses");
+  const std::uint64_t flushes = snap.counter_total("io.cache.flushes");
+  if (hits + misses + flushes == 0 &&
+      snap.counters.find("io.cache.hits") == snap.counters.end()) {
+    return;
+  }
+
+  std::printf("cache:\n");
+  const double lookups = static_cast<double>(hits + misses);
+  std::printf("  hits %llu / misses %llu (%.1f%% hit rate, %s served "
+              "from staging)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              lookups > 0.0 ? 100.0 * static_cast<double>(hits) / lookups : 0.0,
+              format_bytes(snap.counter_total("io.cache.hit_bytes")).c_str());
+  std::printf("  drains %llu (%s to the PFS tier)\n",
+              static_cast<unsigned long long>(flushes),
+              format_bytes(snap.counter_total("io.cache.flushed_bytes"))
+                  .c_str());
+  const std::uint64_t evictions = snap.counter_total("io.cache.evictions");
+  if (evictions > 0) {
+    std::printf("  evictions %llu (%s written back under capacity "
+                "pressure)\n",
+                static_cast<unsigned long long>(evictions),
+                format_bytes(snap.counter_total("io.cache.writeback_bytes"))
+                    .c_str());
+  }
+  const std::uint64_t failures = snap.counter_total("io.cache.flush_failures");
+  if (failures > 0) {
+    std::printf("  flush failures %llu (dirty set retained and retried)\n",
+                static_cast<unsigned long long>(failures));
+  }
+  const std::uint64_t lost = snap.counter_total("io.cache.lost_bytes");
+  if (lost > 0) {
+    std::printf("  LOST %s (undrained dirty data at cache teardown)\n",
+                format_bytes(lost).c_str());
+  }
+  auto dirty = snap.gauges.find("io.cache.dirty_bytes");
+  if (dirty != snap.gauges.end()) {
+    std::printf("  dirty now %s (high-water %s)\n",
+                format_bytes(static_cast<std::uint64_t>(
+                                 dirty->second.value)).c_str(),
+                format_bytes(static_cast<std::uint64_t>(
+                                 dirty->second.high_watermark)).c_str());
+  }
+}
+
 void print_observability_report() {
   const auto snap = obs::Registry::instance().snapshot();
   std::fputs(snap.summary().c_str(), stdout);
   print_resilience_report(snap);
+  print_cache_report(snap);
   // Multi-tenant QoS summary (per-tenant bytes/share, wait percentile
   // spread, deadline misses); empty for non-QoS profiles.
   std::fputs(sched::render_sched_report(snap).c_str(), stdout);
@@ -261,6 +324,7 @@ int cmd_replay(const vol::Trace& trace, const std::string& mode, double mibps,
 
 int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
                  const std::string& mode, double mibps, bool qos,
+                 const std::string& cache_mode,
                  const std::string& chrome_path) {
   workloads::VpicParams params;
   params.particles_per_rank = particles;
@@ -277,7 +341,7 @@ int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
     scheduler = std::make_shared<sched::FairScheduler>();
     scheduler->register_tenant("vpic", 1.0);
   }
-  auto file = h5::File::create(make_pfs(mibps, scheduler));
+  auto file = h5::File::create(make_pfs(mibps, scheduler, cache_mode));
   std::shared_ptr<vol::Connector> connector;
   vol::AsyncConnector* async = nullptr;
   if (mode == "sync") {
@@ -310,6 +374,11 @@ int cmd_run_vpic(int ranks, std::uint64_t particles, int steps,
   std::printf("vpic: %d ranks x %llu particles x 8 props x %d steps (%s mode)\n",
               ranks, static_cast<unsigned long long>(particles), steps,
               mode.c_str());
+  if (!cache_mode.empty()) {
+    std::printf("  burst-buffer cache: %s consistency (BD-CATS-style "
+                "consumers see data at that boundary)\n",
+                cache_mode.c_str());
+  }
   for (std::size_t step = 0; step < result.step_io_seconds.size(); ++step) {
     std::printf("  step %zu: %s aggregate\n", step,
                 format_bandwidth(static_cast<double>(result.bytes_per_step) /
@@ -545,6 +614,7 @@ int main(int argc, char** argv) {
   std::uint64_t particles = 32 * 1024;
   int steps = 3;
   std::string scenario = "all";
+  std::string cache_mode;
   int epochs = 4;
   std::uint64_t bytes_mib = 16;
   double max_drift = 0.0;
@@ -604,6 +674,10 @@ int main(int argc, char** argv) {
         max_drift = std::atof(v);
       } else if (flag == "--qos") {
         qos = true;
+      } else if (flag == "--cache") {
+        const char* v = next();
+        if (v == nullptr) return false;
+        cache_mode = v;
       } else if (flag == "--sample-rate") {
         const char* v = next();
         if (v == nullptr) return false;
@@ -651,8 +725,14 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       if (ranks < 1 || steps < 1 || particles == 0) return usage(argv[0]);
+      if (!cache_mode.empty()) {
+        storage::CacheConsistency parsed;
+        if (!storage::parse_cache_consistency(cache_mode, parsed)) {
+          return usage(argv[0]);
+        }
+      }
       return cmd_run_vpic(ranks, particles, steps, mode, mibps, qos,
-                          chrome_path);
+                          cache_mode, chrome_path);
     }
     if (cmd == "trace") {
       if (!parse_flags(2)) return usage(argv[0]);
